@@ -1,0 +1,58 @@
+// Ablation A2 — the CPU model of paper §4: communication consumes
+// processing power (receive > send) and the remainder is shared evenly
+// among running operations.
+//
+// Method: predict fine-granularity configurations with the full model,
+// without communication CPU overhead, and without CPU sharing; compare
+// against the high-fidelity reference (which always models both).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace dps;
+
+int main() {
+  exp::ScenarioRunner runner(bench::paperSettings());
+
+  std::printf("Ablation: CPU sharing / communication CPU overhead\n\n");
+  Table t;
+  t.header({"config", "reference [s]", "full [s]", "no comm-CPU [s]", "no sharing [s]",
+            "err full", "err no-comm", "err no-share"});
+
+  double worstFull = 0, worstNoComm = 0, worstNoShare = 0;
+  for (std::int32_t r : {81, 108}) {
+    auto cfg = bench::paperLu(r, 8);
+    cfg.pipelined = true;
+    cfg.flowControl = true;
+
+    const auto obs = runner.run(cfg, {}, 22);
+
+    auto noCommCfg = runner.predictorConfig();
+    noCommCfg.commCpuOverhead = false;
+    const double tNoComm = toSeconds(runner.runOne(cfg, false, {}, 22, noCommCfg).makespan);
+
+    auto noShareCfg = runner.predictorConfig();
+    noShareCfg.cpuSharing = false;
+    const double tNoShare = toSeconds(runner.runOne(cfg, false, {}, 22, noShareCfg).makespan);
+
+    const double errFull = obs.error();
+    const double errNoComm = (tNoComm - obs.measuredSec) / obs.measuredSec;
+    const double errNoShare = (tNoShare - obs.measuredSec) / obs.measuredSec;
+    worstFull = std::max(worstFull, std::abs(errFull));
+    worstNoComm = std::max(worstNoComm, std::abs(errNoComm));
+    worstNoShare = std::max(worstNoShare, std::abs(errNoShare));
+    t.row({"P+FC r=" + std::to_string(r), Table::num(obs.measuredSec, 1),
+           Table::num(obs.predictedSec, 1), Table::num(tNoComm, 1), Table::num(tNoShare, 1),
+           Table::pct(errFull, 1), Table::pct(errNoComm, 1), Table::pct(errNoShare, 1)});
+  }
+  t.print(std::cout);
+  std::printf("\n");
+
+  bench::check(worstFull <= worstNoComm,
+               "dropping comm CPU overhead does not improve accuracy");
+  bench::check(worstFull <= worstNoShare,
+               "dropping CPU sharing does not improve accuracy");
+  bench::check(worstFull < 0.08, "full model stays within 8%");
+  return bench::finish();
+}

@@ -1,0 +1,50 @@
+// Ablation A1 — what the equal-share network contention model buys
+// (paper §1: unlike simulators that "assume that network contention is
+// inexistent", this simulator models it).
+//
+// Method: predict the comm-heavy fine-granularity LU configurations with
+// the full model and with contention disabled, and compare both against
+// the high-fidelity reference.  The contention-free model must be
+// noticeably more optimistic on comm-heavy runs.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace dps;
+
+int main() {
+  exp::ScenarioRunner runner(bench::paperSettings());
+
+  std::printf("Ablation: network contention model on/off\n\n");
+  Table t;
+  t.header({"config", "reference [s]", "full model [s]", "no contention [s]",
+            "err full", "err no-contention"});
+
+  double worstFull = 0, worstAblated = 0;
+  for (std::int32_t r : {81, 108, 162}) {
+    auto cfg = bench::paperLu(r, 8);
+    cfg.pipelined = true; // pipelined runs overlap transfers the most
+
+    const auto obs = runner.run(cfg, {}, 21);
+    auto ablatedCfg = runner.predictorConfig();
+    ablatedCfg.networkContention = false;
+    const auto ablated = runner.runOne(cfg, false, {}, 21, ablatedCfg);
+    const double tAblated = toSeconds(ablated.makespan);
+
+    const double errFull = obs.error();
+    const double errAblated = (tAblated - obs.measuredSec) / obs.measuredSec;
+    worstFull = std::max(worstFull, std::abs(errFull));
+    worstAblated = std::max(worstAblated, std::abs(errAblated));
+    t.row({"P r=" + std::to_string(r), Table::num(obs.measuredSec, 1),
+           Table::num(obs.predictedSec, 1), Table::num(tAblated, 1),
+           Table::pct(errFull, 1), Table::pct(errAblated, 1)});
+  }
+  t.print(std::cout);
+  std::printf("\n");
+
+  bench::check(worstAblated > worstFull,
+               "disabling contention degrades prediction accuracy on comm-heavy runs");
+  bench::check(worstFull < 0.08, "full model stays within 8% on comm-heavy runs");
+  return bench::finish();
+}

@@ -1,0 +1,51 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Every bench prints (a) the rows/series the paper reports, (b) a
+// paper-vs-measured comparison where the paper gives concrete numbers, and
+// (c) [CHECK] lines asserting the *shape* claims (who wins, by roughly what
+// factor, where crossovers fall).  Absolute times are not expected to match
+// the authors' 2006 testbed; shapes are (DESIGN.md §5).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "experiments/scenario.hpp"
+#include "lu/builder.hpp"
+#include "support/table.hpp"
+
+namespace dps::bench {
+
+/// The paper's experiment platform at paper scale.
+inline exp::EngineSettings paperSettings() { return exp::EngineSettings{}; }
+
+/// 2592 x 2592 matrix — the size every evaluation section experiment uses.
+inline lu::LuConfig paperLu(std::int32_t r, std::int32_t workers) {
+  lu::LuConfig cfg;
+  cfg.n = 2592;
+  cfg.r = r;
+  cfg.workers = workers;
+  cfg.seed = 20060425; // IPPS 2006
+  cfg.fcLimit = 8;
+  return cfg;
+}
+
+inline int g_checksFailed = 0;
+
+/// Records a shape-claim check; failures flip the process exit code so the
+/// bench sweep doubles as a regression harness.
+inline void check(bool ok, const std::string& claim) {
+  std::printf("[CHECK] %-70s %s\n", claim.c_str(), ok ? "PASS" : "FAIL");
+  if (!ok) ++g_checksFailed;
+}
+
+inline int finish() {
+  if (g_checksFailed > 0) {
+    std::printf("\n%d shape check(s) FAILED\n", g_checksFailed);
+    return 1;
+  }
+  std::printf("\nall shape checks passed\n");
+  return 0;
+}
+
+} // namespace dps::bench

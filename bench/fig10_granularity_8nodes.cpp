@@ -1,0 +1,78 @@
+// Figure 10 — decomposition granularity r x {Basic, P, P+FC} on 8 nodes;
+// reference = basic flow graph r=324 (84.2 s in the paper).
+//
+// Paper shape: on 8 nodes pipelining becomes significant; P+FC is best and
+// its optimum moves to finer granularity; the basic graph degrades sharply
+// at fine granularity.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace dps;
+
+int main() {
+  exp::ScenarioRunner runner(bench::paperSettings());
+  const auto reference = runner.run(bench::paperLu(324, 8), {}, 10);
+  std::printf("Figure 10 reproduction: LU 2592^2, 8 nodes, reference Basic r=324\n");
+  std::printf("reference: measured %.1fs, predicted %.1fs (paper: 84.2s)\n\n",
+              reference.measuredSec, reference.predictedSec);
+
+  const std::vector<std::int32_t> sizes{81, 108, 162, 216, 324};
+  const std::vector<std::string> variants{"Basic", "P", "P+FC"};
+  // improvement[variant][r] for measured and predicted legs.
+  std::map<std::string, std::map<std::int32_t, std::pair<double, double>>> curve;
+
+  for (std::int32_t r : sizes) {
+    for (const auto& v : variants) {
+      auto cfg = bench::paperLu(r, 8);
+      cfg.pipelined = v != "Basic";
+      cfg.flowControl = v == "P+FC";
+      const auto obs = runner.run(cfg, {}, 10);
+      curve[v][r] = {reference.measuredSec / obs.measuredSec,
+                     reference.predictedSec / obs.predictedSec};
+    }
+  }
+
+  Table t;
+  t.header({"block size r", "Basic", "Basic (sim)", "P", "P (sim)", "P+FC", "P+FC (sim)"});
+  for (std::int32_t r : sizes) {
+    t.row({std::to_string(r), Table::num(curve["Basic"][r].first, 2),
+           Table::num(curve["Basic"][r].second, 2), Table::num(curve["P"][r].first, 2),
+           Table::num(curve["P"][r].second, 2), Table::num(curve["P+FC"][r].first, 2),
+           Table::num(curve["P+FC"][r].second, 2)});
+  }
+  t.print(std::cout);
+  std::printf("\npaper shape: P+FC ~1.6-1.8 at fine r; Basic degrades below r=216;\n");
+  std::printf("P strictly above Basic; P+FC at or above P everywhere\n\n");
+
+  bool pBeatsBasic = true, fcBeatsP = true;
+  for (std::int32_t r : sizes) {
+    if (curve["P"][r].first <= curve["Basic"][r].first) pBeatsBasic = false;
+    if (curve["P+FC"][r].first + 1e-9 < curve["P"][r].first) fcBeatsP = false;
+  }
+  bench::check(pBeatsBasic, "pipelining beats the basic graph at every granularity");
+  bench::check(fcBeatsP, "flow control never hurts pipelining");
+  bench::check(curve["Basic"][81].first < 0.9,
+               "basic graph degrades sharply at fine granularity (r=81)");
+  bench::check(curve["P+FC"][108].first > 1.5,
+               "P+FC reaches a large improvement at fine granularity");
+  // Optimum of P+FC sits at finer granularity than the Basic optimum.
+  auto argmax = [&](const std::string& v) {
+    std::int32_t best = sizes.front();
+    for (std::int32_t r : sizes)
+      if (curve[v][r].first > curve[v][best].first) best = r;
+    return best;
+  };
+  bench::check(argmax("P+FC") <= argmax("Basic"),
+               "optimal block size for P+FC is at least as fine as for Basic");
+  // Simulator curves track the measured ones.
+  double worstGap = 0;
+  for (const auto& v : variants)
+    for (std::int32_t r : sizes)
+      worstGap = std::max(worstGap,
+                          std::abs(curve[v][r].first - curve[v][r].second) / curve[v][r].first);
+  bench::check(worstGap < 0.08, "simulated improvement curves track measured within 8%");
+  return bench::finish();
+}

@@ -1,0 +1,63 @@
+// Figure 12 — total running times of the dynamic thread-removal
+// strategies (paper §8): 4 threads, 8 threads, kill 4 after iteration 1,
+// kill 4 after iteration 4, kill 2 after it. 2 + 2 after it. 3.
+//
+// Paper shape: late removal (after it. 4) costs essentially nothing vs the
+// full 8-thread run; early removal costs far less than running on 4
+// threads throughout; predictions track measurements.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace dps;
+
+int main() {
+  exp::ScenarioRunner runner(bench::paperSettings());
+  const auto cfg8 = bench::paperLu(324, 8);
+  auto cfg4 = cfg8;
+  cfg4.workers = 4;
+
+  struct Entry {
+    std::string label;
+    exp::Observation obs;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"4 threads", runner.run(cfg4, {}, 12)});
+  entries.push_back({"8 threads", runner.run(cfg8, {}, 12)});
+  entries.push_back({"8 thr, kill 4 after it. 1",
+                     runner.run(cfg8, mall::AllocationPlan::killAfter({{1, {4, 5, 6, 7}}}), 12)});
+  entries.push_back({"8 thr, kill 4 after it. 4",
+                     runner.run(cfg8, mall::AllocationPlan::killAfter({{4, {4, 5, 6, 7}}}), 12)});
+  entries.push_back(
+      {"8 thr, kill 2 after it. 2 + 2 after it. 3",
+       runner.run(cfg8, mall::AllocationPlan::killAfter({{2, {6, 7}}, {3, {4, 5}}}), 12)});
+
+  std::printf("Figure 12 reproduction: running time under thread-removal strategies\n");
+  std::printf("(2592^2, r=324, basic flow graph, 8 -> fewer nodes)\n\n");
+  Table t;
+  t.header({"strategy", "measured [s]", "predicted [s]", "pred err"});
+  for (const auto& [label, obs] : entries)
+    t.row({label, Table::num(obs.measuredSec, 1), Table::num(obs.predictedSec, 1),
+           Table::pct(obs.error(), 1)});
+  t.print(std::cout);
+  std::printf("\npaper (values ~85-101s): kill4@4 ~ 8 threads; kill4@1 well below 4 threads\n\n");
+
+  const double t4 = entries[0].obs.measuredSec;
+  const double t8 = entries[1].obs.measuredSec;
+  const double k41 = entries[2].obs.measuredSec;
+  const double k44 = entries[3].obs.measuredSec;
+  const double k22 = entries[4].obs.measuredSec;
+
+  bench::check(t8 < t4, "8 threads faster than 4 threads");
+  bench::check(k44 < t8 * 1.03, "killing 4 threads after iteration 4 costs almost nothing");
+  bench::check(k41 < t4 * 0.97, "killing 4 after iteration 1 is clearly faster than 4 threads");
+  bench::check(k41 >= t8 * 0.99, "early removal cannot beat the full 8-thread run");
+  bench::check(k22 > k44 * 0.99 && k22 < k41 * 1.03,
+               "staged removal lands between early and late removal");
+  double worstErr = 0;
+  for (const auto& e : entries) worstErr = std::max(worstErr, std::abs(e.obs.error()));
+  bench::check(worstErr < 0.06, "predictions track removal strategies within 6%");
+  return bench::finish();
+}

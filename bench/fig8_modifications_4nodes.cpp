@@ -1,0 +1,114 @@
+// Figure 8 — impact of the flow-graph modifications and decomposition
+// granularity on 4 nodes; reference = basic graph, r=648 (paper §8).
+//
+// Paper shape: PM / P / FC tweaks bring only a few percent, "negligible
+// compared with the gains obtained by simply changing the decomposition
+// granularity"; the best granularity beats the reference severalfold, and
+// predictions stay within a few percent of measurements.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/stats.hpp"
+
+using namespace dps;
+
+int main() {
+  exp::ScenarioRunner runner(bench::paperSettings());
+
+  struct Entry {
+    std::string label;
+    exp::Observation obs;
+  };
+  std::vector<Entry> entries;
+
+  auto run = [&](std::string label, lu::LuConfig cfg) {
+    entries.push_back({std::move(label), runner.run(cfg, {}, /*fidelitySeed=*/8)});
+  };
+
+  const auto reference = runner.run(bench::paperLu(648, 4), {}, 8);
+  std::printf("Figure 8 reproduction: LU 2592^2, 4 nodes; reference Basic r=648\n");
+  std::printf("reference: measured %.1fs, predicted %.1fs (paper reference: 259.4s)\n\n",
+              reference.measuredSec, reference.predictedSec);
+
+  // Graph modifications at the reference granularity.
+  {
+    auto cfg = bench::paperLu(648, 4);
+    cfg.parallelMult = true;
+    run("PM        r=648", cfg);
+  }
+  {
+    auto cfg = bench::paperLu(648, 4);
+    cfg.pipelined = true;
+    run("P         r=648", cfg);
+  }
+  {
+    auto cfg = bench::paperLu(648, 4);
+    cfg.pipelined = true;
+    cfg.parallelMult = true;
+    run("P+PM      r=648", cfg);
+  }
+  {
+    auto cfg = bench::paperLu(648, 4);
+    cfg.pipelined = true;
+    cfg.flowControl = true;
+    run("P+FC      r=648", cfg);
+  }
+  {
+    auto cfg = bench::paperLu(648, 4);
+    cfg.pipelined = true;
+    cfg.parallelMult = true;
+    cfg.flowControl = true;
+    run("P+PM+FC   r=648", cfg);
+  }
+  // Granularity changes (the dominant effect).
+  for (std::int32_t r : {324, 216, 162, 108}) run("Basic     r=" + std::to_string(r),
+                                                  bench::paperLu(r, 4));
+
+  Table t;
+  t.header({"variant", "measured [s]", "predicted [s]",
+            "improvement (meas)", "improvement (pred)", "pred err"});
+  double bestGranularityGain = 0;
+  double bestTweakGain = 0;
+  double worstPredErr = 0;
+  for (const auto& [label, obs] : entries) {
+    const double gainMeas = reference.measuredSec / obs.measuredSec;
+    const double gainPred = reference.predictedSec / obs.predictedSec;
+    t.row({label, Table::num(obs.measuredSec, 1), Table::num(obs.predictedSec, 1),
+           Table::num(gainMeas, 2), Table::num(gainPred, 2), Table::pct(obs.error(), 1)});
+    if (label.rfind("Basic", 0) == 0) bestGranularityGain = std::max(bestGranularityGain, gainMeas);
+    else bestTweakGain = std::max(bestTweakGain, gainMeas);
+    worstPredErr = std::max(worstPredErr, std::abs(obs.error()));
+  }
+  t.print(std::cout);
+  std::printf("\npaper: graph tweaks ~3%%; best granularity ~3.5x; prediction within a few %%\n\n");
+
+  bench::check(bestGranularityGain > 1.2,
+               "changing granularity improves substantially over Basic r=648");
+  bench::check(bestGranularityGain > bestTweakGain,
+               "granularity gains dominate the PM/P/FC graph modifications");
+  // Individual errors can reach several percent (the paper's own campaign
+  // has a +-16% tail, Fig. 13); the curve as a whole must track closely.
+  std::vector<double> errs;
+  for (const auto& e : entries) errs.push_back(std::abs(e.obs.error()));
+  bench::check(percentile(errs, 50) < 0.03, "median prediction error below 3%");
+  bench::check(worstPredErr < 0.12, "worst prediction error within the paper's +-12% band");
+  // The predictor's preferred configuration is (within noise) as good as
+  // the true best — the property that makes the simulator usable as an
+  // optimization tool (§4).
+  std::string bestPred;
+  double bp = 0, bm = 0;
+  double bestPredMeasuredGain = 0;
+  for (const auto& [label, obs] : entries) {
+    bm = std::max(bm, reference.measuredSec / obs.measuredSec);
+    if (reference.predictedSec / obs.predictedSec > bp) {
+      bp = reference.predictedSec / obs.predictedSec;
+      bestPred = label;
+      bestPredMeasuredGain = reference.measuredSec / obs.measuredSec;
+    }
+  }
+  bench::check(bestPredMeasuredGain > 0.97 * bm,
+               "the simulator's preferred configuration is within 3% of the true best");
+  return bench::finish();
+}

@@ -1,0 +1,90 @@
+// Microbenchmarks of the simulation infrastructure (google-benchmark):
+// event-queue throughput, fair-share network replanning, the sizing
+// serializer, and end-to-end simulator event rates.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "des/scheduler.hpp"
+#include "lu/app.hpp"
+#include "lu/builder.hpp"
+#include "lu/objects.hpp"
+#include "net/network.hpp"
+#include "net/profile.hpp"
+
+namespace {
+
+using namespace dps;
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Scheduler sched;
+    for (std::size_t i = 0; i < n; ++i)
+      sched.scheduleAfter(nanoseconds(static_cast<std::int64_t>((i * 7919) % 100000)), [] {});
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_SchedulerThroughput)->Arg(10000)->Arg(100000);
+
+void BM_NetworkFairShare(benchmark::State& state) {
+  const int transfers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Scheduler sched;
+    net::StarNetwork::Config cfg;
+    cfg.latency = microseconds(100);
+    cfg.bytesPerSec = 100e6;
+    net::StarNetwork net(sched, cfg, 8);
+    for (int i = 0; i < transfers; ++i)
+      net.send(i % 8, (i + 1) % 8, 100000, [] {});
+    sched.run();
+    benchmark::DoNotOptimize(net.bytesSent());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(transfers) * state.iterations());
+}
+BENCHMARK(BM_NetworkFairShare)->Arg(64)->Arg(512);
+
+void BM_SizingSerializer(benchmark::State& state) {
+  lu::MultRequest req;
+  req.a = lu::BlockPayload::phantomOf(324, 324);
+  req.b = lu::BlockPayload::phantomOf(324, 324);
+  for (auto _ : state) benchmark::DoNotOptimize(req.wireSize());
+}
+BENCHMARK(BM_SizingSerializer);
+
+void BM_EncodeSerializer(benchmark::State& state) {
+  lu::MultRequest req;
+  req.a = lu::BlockPayload::fromMatrix(lin::testMatrix(1, 128));
+  req.b = lu::BlockPayload::fromMatrix(lin::testMatrix(2, 128));
+  for (auto _ : state) benchmark::DoNotOptimize(req.encode());
+  state.SetBytesProcessed(static_cast<std::int64_t>(req.wireSize()) * state.iterations());
+}
+BENCHMARK(BM_EncodeSerializer);
+
+void BM_LuSimulationEndToEnd(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    lu::LuConfig cfg;
+    cfg.n = 2592;
+    cfg.r = r;
+    cfg.workers = 8;
+    core::SimConfig sc;
+    sc.profile = net::ultraSparc440();
+    sc.mode = core::ExecutionMode::Pdexec;
+    sc.allocatePayloads = false;
+    sc.recordTrace = false;
+    core::SimEngine engine(sc);
+    lu::LuBuild build = lu::buildLu(cfg, lu::KernelCostModel::ultraSparc440(), false);
+    auto result = lu::runLu(engine, build);
+    steps += result.counters.steps;
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.counters["steps/s"] = benchmark::Counter(static_cast<double>(steps),
+                                                 benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LuSimulationEndToEnd)->Arg(324)->Arg(162)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Microbenchmarks of the linear-algebra substrate (google-benchmark):
+// throughput of the kernels behind the LU application, and of the
+// calibration probes the host cost model uses.
+#include <benchmark/benchmark.h>
+
+#include "linalg/blocked_lu.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using dps::lin::gemmFlops;
+using dps::lin::Matrix;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const Matrix a = dps::lin::testMatrix(1, n);
+  const Matrix b = dps::lin::testMatrix(2, n);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    dps::lin::gemmSubtract(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      gemmFlops(n, n, n) * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(216)->Arg(324);
+
+void BM_Trsm(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const Matrix l = dps::lin::testMatrix(3, n);
+  for (auto _ : state) {
+    Matrix b = dps::lin::testMatrix(4, n);
+    dps::lin::trsmLowerUnit(l, b);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_Trsm)->Arg(128)->Arg(216);
+
+void BM_PanelLu(benchmark::State& state) {
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    Matrix panel = dps::lin::testPanel(5, 4 * k, 0, k);
+    std::vector<std::int32_t> pivots;
+    dps::lin::panelLu(panel, pivots);
+    benchmark::DoNotOptimize(panel.data());
+  }
+}
+BENCHMARK(BM_PanelLu)->Arg(64)->Arg(128);
+
+void BM_BlockLuEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const Matrix a = dps::lin::testMatrix(6, n);
+  for (auto _ : state) {
+    auto f = dps::lin::blockLu(a, n / 4);
+    benchmark::DoNotOptimize(f.lu.data());
+  }
+}
+BENCHMARK(BM_BlockLuEndToEnd)->Arg(128)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

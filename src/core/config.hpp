@@ -1,0 +1,74 @@
+// Simulator configuration: execution mode, model knobs, fidelity layer.
+#pragma once
+
+#include <cstdint>
+
+#include "net/profile.hpp"
+#include "support/time.hpp"
+
+namespace dps::core {
+
+/// How atomic-step durations are obtained (paper §4).
+enum class ExecutionMode : std::uint8_t {
+  /// Direct execution: operation bodies (including kernels) really run and
+  /// each step's wall-clock time becomes its simulated duration.  Accurate
+  /// but host-dependent and as slow as the serial application.
+  DirectExec,
+  /// Partial direct execution (PDEXEC): kernels are skipped; applications
+  /// charge modeled costs via OpContext::charge().  Fast, deterministic and
+  /// portable across simulation hosts.
+  Pdexec,
+};
+
+/// High-fidelity layer used when the simulator stands in for a physical
+/// cluster (the "measured" side of the validation experiments; DESIGN.md
+/// §4).  Adds the messiness a simple l + s/b + even-sharing model does not
+/// capture: per-message protocol overheads, packetization, bandwidth
+/// derating, and per-step compute-time variation.  All noise is drawn from
+/// a seeded generator, so "measurements" are reproducible.
+struct FidelityConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0x5EED;
+
+  /// Std-dev of multiplicative per-step compute noise (lognormal-ish).
+  double computeJitter = 0.03;
+  /// Per-node speed deviation sampled once per run: background daemons,
+  /// thermal state — the slowest node drags barriers, exactly the effect a
+  /// calibrated-mean predictor cannot see.
+  double perNodeSpeedSigma = 0.02;
+  /// Whole-run speed deviation (shared by all nodes): the day-to-day drift
+  /// between the calibration run and the measured run.
+  double perRunSpeedSigma = 0.015;
+  /// Fixed per-message protocol/interrupt overhead, plus uniform jitter.
+  SimDuration perMessageOverhead = microseconds(55);
+  SimDuration perMessageJitter = microseconds(30);
+  /// Packetization: per-chunk overhead on top of the byte stream.
+  std::size_t chunkBytes = 1460;
+  SimDuration perChunkOverhead = microseconds(2);
+  /// Achievable fraction of nominal bandwidth.
+  double bandwidthEfficiency = 0.93;
+};
+
+struct SimConfig {
+  net::PlatformProfile profile;
+  ExecutionMode mode = ExecutionMode::Pdexec;
+
+  /// NOALLOC: applications should use phantom payloads; engine asserts no
+  /// real serialization happens.  (paper §7, "PDEXEC NOALLOC")
+  bool allocatePayloads = true;
+
+  /// Model ablation knobs (all on = the paper's model).
+  bool cpuSharing = true;       // running steps share node CPU evenly
+  bool commCpuOverhead = true;  // transfers consume node CPU
+  bool networkContention = true; // equal-share link bandwidth
+
+  FidelityConfig fidelity;
+
+  /// Record a full trace (steps/transfers/markers).  Required for the
+  /// efficiency analyses; can be disabled for large capacity studies.
+  bool recordTrace = true;
+
+  std::uint64_t seed = 42;
+};
+
+} // namespace dps::core

@@ -1,0 +1,192 @@
+// SimEngine — the paper's simulator (§3–§4).
+//
+// Executes a DPS flow-graph application under a discrete-event virtual
+// clock.  Operation bodies are *directly executed* (the DPS runtime and the
+// application's routing/decomposition logic really run); only the duration
+// of each atomic step is virtual, obtained either from wall-clock
+// measurement of the body (DirectExec) or from application-charged model
+// costs (Pdexec).  Exactly one operation body runs at a time — the inline
+// equivalent of the paper's simulator-thread/execution-thread alternation
+// (Fig. 3/4) — while steps overlap freely in *virtual* time.
+//
+// The engine owns:
+//   * a StarNetwork (latency + equal-share bandwidth, §4),
+//   * a CpuModel (even CPU sharing, communication CPU overhead, §4),
+//   * the split/merge instance ledger and flow-control tokens (§2),
+//   * dynamic allocation state (thread activation per group, §6/§8),
+//   * trace recording for dynamic-efficiency analysis (§8).
+//
+// Thread-compatibility: an engine instance runs one program at a time on
+// the calling thread; it is not reentrant.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/cpu_model.hpp"
+#include "core/result.hpp"
+#include "des/scheduler.hpp"
+#include "flow/active_set.hpp"
+#include "flow/envelope.hpp"
+#include "flow/graph.hpp"
+#include "flow/ledger.hpp"
+#include "net/network.hpp"
+#include "support/rng.hpp"
+
+namespace dps::core {
+
+class SimEngine {
+public:
+  explicit SimEngine(SimConfig cfg);
+  ~SimEngine();
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Called at every application progress marker, in virtual-time order.
+  /// Hooks may call deactivateThread/activateThread/injectTransfer — this
+  /// is how malleability controllers steer allocation during a run.
+  using MarkerHook = std::function<void(const std::string&, std::int64_t, SimTime)>;
+  void setMarkerHook(MarkerHook hook) { markerHook_ = std::move(hook); }
+
+  /// Runs the program to completion and returns predictions + trace.
+  /// Throws Error on deadlock (incomplete scopes at quiescence).
+  RunResult run(const flow::Program& program);
+
+  // --- dynamic allocation (valid during run(), e.g. from marker hooks) ---
+  void deactivateThread(flow::GroupId group, std::int32_t index);
+  void activateThread(flow::GroupId group, std::int32_t index);
+  std::int32_t allocatedNodes() const;
+  /// Injects a raw data movement (e.g. state migration when a thread is
+  /// deallocated); `onDone` fires at delivery time.
+  void injectTransfer(flow::NodeId src, flow::NodeId dst, std::size_t bytes,
+                      std::function<void()> onDone = nullptr);
+  /// Application state of a thread, accessible while a run is in progress
+  /// (marker hooks use this to migrate state off deallocated threads).
+  flow::ThreadState* threadStateDuringRun(flow::GroupId group, std::int32_t index);
+  /// Node hosting a thread under the current deployment.
+  flow::NodeId nodeOfThread(flow::GroupId group, std::int32_t index) const;
+  /// The trace being recorded, readable during a run (null when trace
+  /// recording is disabled).  Online policies use this to evaluate the
+  /// dynamic efficiency of the interval just completed.
+  const trace::Trace* liveTrace() const { return trace_.get(); }
+  SimTime now() const;
+
+  const SimConfig& config() const { return cfg_; }
+
+private:
+  // --- body execution ---
+  struct Emission {
+    serial::ObjectPtr obj;
+    std::int32_t port = 0;
+  };
+  struct Segment {
+    SimDuration work{};
+    enum class After : std::uint8_t { Nothing, Post, Mark } after = After::Nothing;
+    Emission post;
+    std::string markName;
+    std::int64_t markValue = 0;
+  };
+
+  struct Task {
+    enum class Kind : std::uint8_t { Input, Emit, Finalize } kind = Kind::Input;
+    flow::Envelope env;       // Input
+    std::uint64_t act = 0;    // Emit / Finalize
+  };
+
+  struct Activation {
+    std::uint64_t id = 0;
+    flow::OpId op = flow::kNoOp;
+    flow::ThreadRef thread;
+    std::unique_ptr<flow::Operation> impl;
+    flow::InstancePath basePath;
+    /// Opener scopes: port -> ledger instance (opened lazily on first use).
+    std::map<std::int32_t, std::uint64_t> openScopes;
+    /// Closer state: the scope instance this activation is collecting.
+    std::uint64_t closingInstance = 0;
+    bool isCloser = false;
+    bool inputConsumed = false; // leaf/split: the triggering input was processed
+    bool finalized = false;     // closer: onAllInputsDone completed
+    bool finalizeQueued = false;
+    bool parked = false;        // waiting for a flow-control token
+    /// At most one Emit task may be queued per activation; otherwise a
+    /// token-release wake racing with an input's drain enqueues two and
+    /// the second finds no token.
+    bool emitQueued = false;
+    std::uint32_t inFlight = 0; // queued or running tasks
+  };
+
+  struct ThreadCtx {
+    flow::ThreadRef ref;
+    flow::NodeId node = -1;
+    std::deque<Task> ready;
+    bool busy = false;
+    std::unique_ptr<flow::ThreadState> state;
+    Rng rng;
+  };
+
+  class ContextImpl; // OpContext implementation (defined in engine.cpp)
+  friend class ContextImpl;
+
+  ThreadCtx& thread(flow::ThreadRef ref);
+  Activation& activation(std::uint64_t id);
+
+  void injectInputs();
+  void enqueue(ThreadCtx& t, Task task, bool front = false);
+  void maybeDispatch(ThreadCtx& t);
+  void executeTask(ThreadCtx& t, Task task);
+  Activation& resolveInputActivation(ThreadCtx& t, const flow::Envelope& env);
+  /// Runs segment `idx` of the current chain; continues via CPU-model
+  /// completions until all segments are done, then finishes the task.
+  void runChain(std::shared_ptr<std::vector<Segment>> segments, std::size_t idx,
+                flow::ThreadRef tref, std::uint64_t actId, Task::Kind kind,
+                std::optional<flow::InstanceFrame> absorbedFrame, SimTime chainStart);
+  void finishTask(ThreadCtx& t, Activation& act, Task::Kind kind,
+                  std::optional<flow::InstanceFrame> absorbedFrame);
+  void applySegmentAction(Activation& act, const Segment& seg);
+
+  void sendObject(Activation& act, const Emission& em, std::uint64_t routeEmissionHint);
+  void deliver(flow::Envelope env, SimTime sentAt);
+  void drainOrPark(ThreadCtx& t, Activation& act);
+  void maybeRetire(Activation& act);
+  void scheduleFinalize(std::uint64_t instance);
+  std::uint64_t scopeInstance(Activation& act, std::int32_t port);
+  void recordAllocation();
+  void checkQuiescence();
+
+  SimDuration stepNoise(SimDuration work, flow::NodeId node);
+
+  SimConfig cfg_;
+  MarkerHook markerHook_;
+
+  // --- per-run state ---
+  const flow::FlowGraph* graph_ = nullptr;
+  const flow::Deployment* deployment_ = nullptr;
+  const std::vector<serial::ObjectPtr>* inputs_ = nullptr;
+  std::unique_ptr<des::Scheduler> sched_;
+  std::unique_ptr<net::StarNetwork> network_;
+  std::unique_ptr<CpuModel> cpu_;
+  flow::Ledger ledger_;
+  std::vector<std::vector<ThreadCtx>> threads_; // [group][index]
+  std::vector<flow::ActiveSet> activeSets_;     // [group]
+  std::unordered_map<std::uint64_t, Activation> activations_;
+  std::unordered_map<std::uint64_t, std::uint64_t> closerByInstance_;
+  std::unordered_map<std::uint64_t, std::uint64_t> tokenWaiters_; // instance -> activation
+  std::vector<serial::ObjectPtr> outputs_;
+  RunCounters counters_;
+  std::shared_ptr<trace::Trace> trace_;
+  Rng fidelityRng_;
+  std::vector<double> nodeSpeedFactor_;
+  std::uint64_t nextActivation_ = 1;
+  std::uint64_t nextSeq_ = 1;
+  std::int32_t allocatedNodes_ = 0;
+  bool running_ = false;
+};
+
+} // namespace dps::core

@@ -1,0 +1,38 @@
+// Result of an engine run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "flow/operation.hpp"
+#include "serial/object.hpp"
+#include "support/time.hpp"
+#include "trace/trace.hpp"
+
+namespace dps::core {
+
+struct RunCounters {
+  std::uint64_t steps = 0;        // atomic steps executed
+  std::uint64_t messages = 0;     // data objects posted (incl. same-node)
+  std::uint64_t networkBytes = 0; // wire bytes crossing the network
+  std::uint64_t kernelsSkipped = 0; // informational (PDEXEC)
+};
+
+struct RunResult {
+  /// Predicted (sim engine) or elapsed (runtime engine) application time.
+  SimDuration makespan{};
+  /// Objects posted to program output ports, in completion order.
+  std::vector<serial::ObjectPtr> outputs;
+  RunCounters counters;
+  /// Full execution trace; null when trace recording is disabled.
+  std::shared_ptr<trace::Trace> trace;
+  /// Thread states harvested after the run ([group][thread]); lets callers
+  /// verify application results (e.g. the factored matrix blocks).
+  std::vector<std::vector<std::unique_ptr<flow::ThreadState>>> threadStates;
+  /// Wall-clock cost of performing the run itself (the paper's Table 1
+  /// "running time" column for the simulator rows).
+  double wallSeconds = 0.0;
+};
+
+} // namespace dps::core

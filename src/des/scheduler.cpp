@@ -1,0 +1,92 @@
+#include "des/scheduler.hpp"
+
+#include "support/error.hpp"
+
+namespace dps::des {
+
+EventId Scheduler::scheduleAt(SimTime at, Action action) {
+  DPS_CHECK(at >= now_, "cannot schedule event in the past");
+  DPS_CHECK(static_cast<bool>(action), "cannot schedule empty action");
+  auto sp = std::make_shared<Action>(std::move(action));
+  queue_.push(Entry{at, nextSeq_++, sp});
+  ++liveCount_;
+  return EventId(sp);
+}
+
+EventId Scheduler::scheduleAfter(SimDuration delay, Action action) {
+  DPS_CHECK(delay >= SimDuration::zero(), "cannot schedule with negative delay");
+  return scheduleAt(now_ + delay, std::move(action));
+}
+
+bool Scheduler::cancel(EventId id) {
+  auto sp = id.action_.lock();
+  if (!sp || !*sp) return false;
+  *sp = Action{};
+  DPS_CHECK(liveCount_ > 0, "live count underflow");
+  --liveCount_;
+  return true;
+}
+
+bool Scheduler::popLive(Entry& out) {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (e.action && *e.action) {
+      out = std::move(e);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Scheduler::step() {
+  Entry e;
+  if (!popLive(e)) return false;
+  now_ = e.at;
+  --liveCount_;
+  ++fired_;
+  // Move the action out so re-entrant schedules/cancels see a clean state.
+  Action action = std::move(*e.action);
+  *e.action = Action{};
+  action();
+  return true;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::runUntil(SimTime deadline) {
+  std::size_t n = 0;
+  for (;;) {
+    // Peek: drop dead entries to find the next live event time.
+    Entry e;
+    if (!popLive(e)) break;
+    if (e.at > deadline) {
+      queue_.push(e); // put it back; clock stops at the deadline
+      now_ = deadline;
+      return n;
+    }
+    now_ = e.at;
+    --liveCount_;
+    ++fired_;
+    Action action = std::move(*e.action);
+    *e.action = Action{};
+    action();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+void Scheduler::reset() {
+  queue_ = {};
+  now_ = simEpoch();
+  nextSeq_ = 1;
+  fired_ = 0;
+  liveCount_ = 0;
+}
+
+} // namespace dps::des

@@ -1,0 +1,96 @@
+// Deterministic discrete-event scheduler.
+//
+// The kernel under both the paper-model simulator and the high-fidelity
+// reference executor.  Events at equal timestamps fire in scheduling order
+// (FIFO), which makes every simulation a pure function of its inputs.
+//
+// Cancellation uses lazy deletion: cancel() empties the stored action, pop
+// skips dead entries.  This keeps the queue a plain binary heap (O(log n)
+// schedule/pop), the right trade-off because cancellations are rare (only
+// re-planned transfer completions) while schedules are massive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace dps::des {
+
+/// Opaque handle to a scheduled event; cancel through Scheduler::cancel.
+class EventId {
+public:
+  EventId() = default;
+  /// True while the event is still pending.
+  bool pending() const {
+    auto sp = action_.lock();
+    return sp && *sp;
+  }
+
+private:
+  friend class Scheduler;
+  explicit EventId(std::weak_ptr<std::function<void()>> a) : action_(std::move(a)) {}
+  std::weak_ptr<std::function<void()>> action_;
+};
+
+class Scheduler {
+public:
+  using Action = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `at` (>= now).
+  EventId scheduleAt(SimTime at, Action action);
+  /// Schedules `action` after `delay` (>= 0).
+  EventId scheduleAfter(SimDuration delay, Action action);
+
+  /// Cancels a pending event.  Returns false if it already fired / was
+  /// cancelled.  Safe to call from inside event handlers.
+  bool cancel(EventId id);
+
+  /// Runs until the queue is empty.  Returns the number of events fired.
+  std::size_t run();
+  /// Runs until the queue is empty or the next event lies past `deadline`
+  /// (the clock never passes the deadline).
+  std::size_t runUntil(SimTime deadline);
+  /// Fires exactly one event if any is pending; returns whether one fired.
+  bool step();
+
+  bool empty() const { return liveCount_ == 0; }
+  std::size_t pendingCount() const { return liveCount_; }
+  std::uint64_t firedCount() const { return fired_; }
+
+  /// Resets clock and queue; handles from before reset are invalidated.
+  void reset();
+
+private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::shared_ptr<Action> action; // *action empty <=> cancelled
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq; // FIFO among equal timestamps
+    }
+  };
+
+  /// Pops the next live entry; returns false if none.
+  bool popLive(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = simEpoch();
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t fired_ = 0;
+  std::size_t liveCount_ = 0;
+};
+
+} // namespace dps::des

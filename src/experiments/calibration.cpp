@@ -1,0 +1,129 @@
+#include "experiments/calibration.hpp"
+
+#include "core/engine.hpp"
+#include "flow/graph.hpp"
+#include "flow/ops.hpp"
+#include "flow/routing.hpp"
+#include "support/error.hpp"
+
+namespace dps::exp {
+
+namespace {
+
+/// Probe payload: opaque bytes of a configurable size.
+struct ProbeMsg final : serial::Object<ProbeMsg> {
+  static constexpr const char* kTypeName = "calib.probe";
+  std::int64_t index = 0;
+  std::vector<std::uint8_t> payload;
+  template <typename Ar>
+  void describe(Ar& ar) {
+    serial::fields(ar, index, payload);
+  }
+};
+
+struct ProbeDone final : serial::Object<ProbeDone> {
+  static constexpr const char* kTypeName = "calib.done";
+  std::int64_t count = 0;
+  template <typename Ar>
+  void describe(Ar& ar) {
+    serial::fields(ar, count);
+  }
+};
+
+class ProbeSplit final : public flow::QueueEmitter {
+public:
+  ProbeSplit(int rounds, std::size_t bytes) : rounds_(rounds), bytes_(bytes) {}
+  void onInput(flow::OpContext&, const serial::ObjectBase&) override {
+    for (int i = 0; i < rounds_; ++i) {
+      auto msg = std::make_shared<ProbeMsg>();
+      msg->index = i;
+      msg->payload.assign(bytes_, static_cast<std::uint8_t>(i));
+      enqueue(std::move(msg));
+    }
+  }
+
+private:
+  int rounds_;
+  std::size_t bytes_;
+};
+
+class ProbeSink final : public flow::Operation {
+public:
+  void onInput(flow::OpContext&, const serial::ObjectBase&) override { ++count_; }
+  void onAllInputsDone(flow::OpContext& ctx) override {
+    auto done = std::make_shared<ProbeDone>();
+    done->count = count_;
+    ctx.post(std::move(done));
+  }
+
+private:
+  std::int64_t count_ = 0;
+};
+
+/// Mean cross-node transfer duration for `rounds` probes of `bytes` each,
+/// serialized one at a time (flow control 1) so they never contend.
+SimDuration probeMean(const core::SimConfig& cfg, int rounds, std::size_t bytes) {
+  flow::FlowGraph g;
+  const auto sender = g.addGroup("sender");
+  const auto receiver = g.addGroup("receiver");
+  using flow::makeOp;
+  const auto split = g.addSplit("probe", sender, makeOp<ProbeSplit>(rounds, bytes));
+  const auto sink = g.addMerge("sink", receiver, makeOp<ProbeSink>());
+  g.setEntry(split);
+  g.connect(split, 0, sink, flow::routeTo(0));
+  g.pair(split, 0, sink);
+  g.setFlowControl(split, 0, flow::FlowControlSpec{1});
+  g.connectOutput(sink, 0);
+
+  flow::Program prog;
+  prog.graph = &g;
+  prog.deployment.nodeCount = 2;
+  prog.deployment.groupNodes = {{0}, {1}};
+  prog.inputs.push_back(std::make_shared<ProbeMsg>());
+
+  core::SimConfig probeCfg = cfg;
+  probeCfg.recordTrace = true;
+  core::SimEngine engine(probeCfg);
+  auto result = engine.run(prog);
+  DPS_CHECK(result.trace != nullptr, "calibration needs trace recording");
+
+  SimDuration total{};
+  std::size_t n = 0;
+  for (const auto& t : result.trace->transfers()) {
+    if (t.src == t.dst) continue;
+    total += t.end - t.start;
+    ++n;
+  }
+  DPS_CHECK(n > 0, "calibration probes produced no transfers");
+  return SimDuration{total.count() / static_cast<std::int64_t>(n)};
+}
+
+} // namespace
+
+CalibrationResult calibratePlatform(const core::SimConfig& referenceCfg, int rounds,
+                                    std::size_t smallBytes, std::size_t largeBytes) {
+  DPS_CHECK(rounds > 0, "calibration needs probes");
+  DPS_CHECK(largeBytes > smallBytes, "probe sizes must differ");
+  CalibrationResult fit;
+  fit.smallMean = probeMean(referenceCfg, rounds, smallBytes);
+  fit.largeMean = probeMean(referenceCfg, rounds, largeBytes);
+  fit.probeCount = static_cast<std::size_t>(rounds) * 2;
+
+  // Two-point fit of t = l + s/b.  The envelope adds a constant to both
+  // probe sizes, so it cancels in the bandwidth estimate.
+  const double dSec = toSeconds(fit.largeMean - fit.smallMean);
+  DPS_CHECK(dSec > 0, "large probes not slower than small ones");
+  fit.bytesPerSec = static_cast<double>(largeBytes - smallBytes) / dSec;
+  fit.latency =
+      fit.smallMean - seconds(static_cast<double>(smallBytes) / fit.bytesPerSec);
+  DPS_CHECK(fit.latency > SimDuration::zero(), "fitted negative latency");
+  return fit;
+}
+
+net::PlatformProfile applyCalibration(net::PlatformProfile base, const CalibrationResult& fit) {
+  base.latency = fit.latency;
+  base.bandwidthBytesPerSec = fit.bytesPerSec;
+  return base;
+}
+
+} // namespace dps::exp

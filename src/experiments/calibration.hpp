@@ -1,0 +1,37 @@
+// Platform-parameter calibration (paper §4: the latency and bandwidth
+// parameters "must be measured or estimated separately for each target
+// parallel machine").
+//
+// Runs message-probe programs on a reference-configured engine (i.e.
+// through the fidelity layer standing in for the real machine) and fits
+// the effective l and b of the t = l + s/b model from the observed
+// per-transfer durations of small and large messages — the same two-point
+// fit a ping-pong benchmark performs on physical hardware.
+#pragma once
+
+#include <cstddef>
+
+#include "core/config.hpp"
+#include "net/profile.hpp"
+#include "support/time.hpp"
+
+namespace dps::exp {
+
+struct CalibrationResult {
+  SimDuration latency{};     // fitted l
+  double bytesPerSec = 0;    // fitted b
+  std::size_t probeCount = 0;
+  SimDuration smallMean{};   // mean duration of the small-message probes
+  SimDuration largeMean{};   // mean duration of the large-message probes
+};
+
+/// Measures l and b under `referenceCfg` (which should be a reference /
+/// fidelity configuration).  `rounds` probes are sent per message size.
+CalibrationResult calibratePlatform(const core::SimConfig& referenceCfg, int rounds = 16,
+                                    std::size_t smallBytes = 256,
+                                    std::size_t largeBytes = 1 << 20);
+
+/// Returns `base` with its latency/bandwidth replaced by the fit.
+net::PlatformProfile applyCalibration(net::PlatformProfile base, const CalibrationResult& fit);
+
+} // namespace dps::exp

@@ -1,0 +1,55 @@
+// Active-thread tracking for dynamic node allocation.
+//
+// Each thread group keeps the set of thread indices that are currently
+// allocated.  Routing helpers consult this set, so deactivating a thread
+// immediately steers new work away from it — the mechanism behind the
+// paper's "kill N threads after iteration k" experiments (§8).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dps::flow {
+
+class ActiveSet {
+public:
+  ActiveSet() = default;
+  explicit ActiveSet(std::int32_t size) { reset(size); }
+
+  void reset(std::int32_t size) {
+    DPS_CHECK(size > 0, "active set needs positive size");
+    active_.assign(size, true);
+    rebuild();
+  }
+
+  std::int32_t size() const { return static_cast<std::int32_t>(active_.size()); }
+  std::int32_t activeCount() const { return static_cast<std::int32_t>(indices_.size()); }
+  bool isActive(std::int32_t idx) const { return active_.at(idx); }
+
+  /// Active indices in ascending order; stable until the next (de)activation.
+  std::span<const std::int32_t> indices() const { return indices_; }
+
+  /// Returns false if the thread was already in the requested state.
+  bool setActive(std::int32_t idx, bool on) {
+    if (active_.at(idx) == on) return false;
+    DPS_CHECK(on || activeCount() > 1, "cannot deactivate the last active thread");
+    active_[idx] = on;
+    rebuild();
+    return true;
+  }
+
+private:
+  void rebuild() {
+    indices_.clear();
+    for (std::int32_t i = 0; i < size(); ++i)
+      if (active_[i]) indices_.push_back(i);
+  }
+
+  std::vector<bool> active_;
+  std::vector<std::int32_t> indices_;
+};
+
+} // namespace dps::flow

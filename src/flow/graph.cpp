@@ -1,0 +1,221 @@
+#include "flow/graph.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace dps::flow {
+
+const char* toString(OpKind k) {
+  switch (k) {
+    case OpKind::Leaf: return "leaf";
+    case OpKind::Split: return "split";
+    case OpKind::Merge: return "merge";
+    case OpKind::Stream: return "stream";
+  }
+  return "?";
+}
+
+GroupId FlowGraph::addGroup(std::string name, ThreadStateFactory stateFactory) {
+  groups_.push_back(GroupSpec{std::move(name), std::move(stateFactory)});
+  return static_cast<GroupId>(groups_.size() - 1);
+}
+
+OpId FlowGraph::addOp(std::string name, OpKind kind, GroupId group, OperationFactory factory) {
+  if (group < 0 || static_cast<std::size_t>(group) >= groups_.size())
+    throw GraphError("op '" + name + "' references unknown group");
+  if (!factory) throw GraphError("op '" + name + "' has no operation factory");
+  OpSpec spec;
+  spec.name = std::move(name);
+  spec.kind = kind;
+  spec.group = group;
+  spec.factory = std::move(factory);
+  ops_.push_back(std::move(spec));
+  return static_cast<OpId>(ops_.size() - 1);
+}
+
+OpId FlowGraph::addLeaf(std::string name, GroupId group, OperationFactory f) {
+  return addOp(std::move(name), OpKind::Leaf, group, std::move(f));
+}
+OpId FlowGraph::addSplit(std::string name, GroupId group, OperationFactory f) {
+  return addOp(std::move(name), OpKind::Split, group, std::move(f));
+}
+OpId FlowGraph::addMerge(std::string name, GroupId group, OperationFactory f) {
+  return addOp(std::move(name), OpKind::Merge, group, std::move(f));
+}
+OpId FlowGraph::addStream(std::string name, GroupId group, OperationFactory f) {
+  return addOp(std::move(name), OpKind::Stream, group, std::move(f));
+}
+
+const OpSpec& FlowGraph::op(OpId id) const {
+  DPS_CHECK(id >= 0 && static_cast<std::size_t>(id) < ops_.size(), "bad op id");
+  return ops_[id];
+}
+
+const GroupSpec& FlowGraph::group(GroupId id) const {
+  DPS_CHECK(id >= 0 && static_cast<std::size_t>(id) < groups_.size(), "bad group id");
+  return groups_[id];
+}
+
+void FlowGraph::pair(OpId opener, std::int32_t port, OpId closer) {
+  OpSpec& o = ops_.at(opener);
+  OpSpec& c = ops_.at(closer);
+  if (o.kind != OpKind::Split && o.kind != OpKind::Stream)
+    throw GraphError("pair(): opener '" + o.name + "' must be a split or stream");
+  if (c.kind != OpKind::Merge && c.kind != OpKind::Stream)
+    throw GraphError("pair(): closer '" + c.name + "' must be a merge or stream");
+  if (port < 0) throw GraphError("pair(): negative port");
+  if (o.scopeCloserByPort.count(port))
+    throw GraphError("port " + std::to_string(port) + " of opener '" + o.name + "' already paired");
+  o.scopeCloserByPort[port] = closer;
+  c.closes.emplace_back(opener, port);
+}
+
+void FlowGraph::setFlowControl(OpId opener, std::int32_t port, FlowControlSpec fc) {
+  OpSpec& o = ops_.at(opener);
+  if (!o.scopeCloserByPort.count(port))
+    throw GraphError("flow control requires a paired scope port ('" + o.name + "' port " +
+                     std::to_string(port) + ")");
+  if (fc.maxInFlight < 0) throw GraphError("flow control limit must be >= 0");
+  o.flowControlByPort[port] = fc;
+}
+
+OpId FlowGraph::closerOf(OpId opener, std::int32_t port) const {
+  const OpSpec& o = op(opener);
+  auto it = o.scopeCloserByPort.find(port);
+  return it == o.scopeCloserByPort.end() ? kNoOp : it->second;
+}
+
+FlowControlSpec FlowGraph::flowControlOf(OpId opener, std::int32_t port) const {
+  const OpSpec& o = op(opener);
+  auto it = o.flowControlByPort.find(port);
+  return it == o.flowControlByPort.end() ? FlowControlSpec{} : it->second;
+}
+
+void FlowGraph::connect(OpId from, std::int32_t port, OpId to, RoutingFn route) {
+  OpSpec& f = ops_.at(from);
+  (void)ops_.at(to); // bounds check
+  if (!route) throw GraphError("edge from '" + f.name + "' has no routing function");
+  if (port < 0) throw GraphError("negative port");
+  if (edgeAt(from, port) || isOutputPort(from, port))
+    throw GraphError("port " + std::to_string(port) + " of '" + f.name + "' already connected");
+  edges_.push_back(EdgeSpec{from, port, to, std::move(route)});
+  if (static_cast<std::size_t>(port) >= f.outEdges.size()) f.outEdges.resize(port + 1, -1);
+  f.outEdges[port] = static_cast<std::int32_t>(edges_.size() - 1);
+}
+
+void FlowGraph::connectOutput(OpId from, std::int32_t port) {
+  OpSpec& f = ops_.at(from);
+  if (edgeAt(from, port) || isOutputPort(from, port))
+    throw GraphError("port " + std::to_string(port) + " of '" + f.name + "' already connected");
+  outputPorts_.emplace_back(from, port);
+}
+
+void FlowGraph::setEntry(OpId op, std::int32_t entryThread) {
+  (void)ops_.at(op);
+  if (entryThread < 0) throw GraphError("negative entry thread");
+  entry_ = op;
+  entryThread_ = entryThread;
+}
+
+std::optional<std::int32_t> FlowGraph::edgeAt(OpId op, std::int32_t port) const {
+  const OpSpec& o = ops_.at(op);
+  if (port < 0 || static_cast<std::size_t>(port) >= o.outEdges.size()) return std::nullopt;
+  if (o.outEdges[port] < 0) return std::nullopt;
+  return o.outEdges[port];
+}
+
+bool FlowGraph::isOutputPort(OpId op, std::int32_t port) const {
+  return std::find(outputPorts_.begin(), outputPorts_.end(),
+                   std::make_pair(op, port)) != outputPorts_.end();
+}
+
+void FlowGraph::validate() const {
+  if (ops_.empty()) throw GraphError("graph has no operations");
+  if (entry_ == kNoOp) throw GraphError("graph has no entry operation");
+
+  // Pairing completeness.
+  for (const OpSpec& o : ops_) {
+    if ((o.kind == OpKind::Split || o.kind == OpKind::Stream) && o.scopeCloserByPort.empty())
+      throw GraphError(std::string(toString(o.kind)) + " '" + o.name +
+                       "' opens no scope (pair at least one emitting port)");
+    if ((o.kind == OpKind::Merge || o.kind == OpKind::Stream) && o.closes.empty())
+      throw GraphError(std::string(toString(o.kind)) + " '" + o.name +
+                       "' closes no scope (pair it with an opener)");
+    if (o.kind == OpKind::Leaf && !o.scopeCloserByPort.empty())
+      throw GraphError("leaf '" + o.name + "' cannot open scopes");
+  }
+
+  // Acyclicity (paper: applications are directed *acyclic* graphs).
+  std::vector<int> state(ops_.size(), 0); // 0 unvisited, 1 in-stack, 2 done
+  std::vector<OpId> stack{entry_};
+  std::vector<std::size_t> edgeIdx{0};
+  // Iterative DFS with explicit colouring.
+  std::function<void(OpId)> dfs = [&](OpId u) {
+    state[u] = 1;
+    for (std::int32_t ei : ops_[u].outEdges) {
+      if (ei < 0) continue;
+      const OpId v = edges_[ei].to;
+      if (state[v] == 1)
+        throw GraphError("cycle through '" + ops_[u].name + "' -> '" + ops_[v].name + "'");
+      if (state[v] == 0) dfs(v);
+    }
+    state[u] = 2;
+  };
+  dfs(entry_);
+
+  // Every op reachable from the entry (unreachable ops are dead weight and
+  // almost always a wiring bug).
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (state[i] == 0)
+      throw GraphError("op '" + ops_[i].name + "' is unreachable from the entry");
+  }
+
+  // Non-merge ops must have at least one out-edge or output port; merges and
+  // streams may legitimately terminate a lineage only via outputs.
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const OpSpec& o = ops_[i];
+    bool hasOut = std::any_of(o.outEdges.begin(), o.outEdges.end(),
+                              [](std::int32_t e) { return e >= 0; });
+    for (const auto& [op, port] : outputPorts_) {
+      (void)port;
+      if (op == static_cast<OpId>(i)) hasOut = true;
+    }
+    if (!hasOut)
+      throw GraphError("op '" + o.name + "' has no outgoing edge or output port");
+  }
+}
+
+Deployment Deployment::roundRobin(const FlowGraph& g,
+                                  const std::vector<std::int32_t>& groupThreadCounts,
+                                  std::int32_t nodes) {
+  if (nodes <= 0) throw ConfigError("deployment needs at least one node");
+  if (groupThreadCounts.size() != g.groupCount())
+    throw ConfigError("thread count list does not match group count");
+  Deployment d;
+  d.nodeCount = nodes;
+  d.groupNodes.resize(g.groupCount());
+  for (std::size_t gi = 0; gi < g.groupCount(); ++gi) {
+    const std::int32_t n = groupThreadCounts[gi];
+    if (n <= 0) throw ConfigError("group '" + g.group(static_cast<GroupId>(gi)).name +
+                                  "' needs at least one thread");
+    d.groupNodes[gi].resize(n);
+    for (std::int32_t t = 0; t < n; ++t) d.groupNodes[gi][t] = t % nodes;
+  }
+  return d;
+}
+
+void Deployment::validateAgainst(const FlowGraph& g) const {
+  if (nodeCount <= 0) throw ConfigError("deployment has no nodes");
+  if (groupNodes.size() != g.groupCount())
+    throw ConfigError("deployment group count mismatch");
+  for (const auto& nodes : groupNodes) {
+    if (nodes.empty()) throw ConfigError("deployment has a group with no threads");
+    for (NodeId n : nodes)
+      if (n < 0 || n >= nodeCount) throw ConfigError("deployment maps a thread to a bad node");
+  }
+  if (g.entryThread() >= threadsIn(g.op(g.entryOp()).group))
+    throw ConfigError("entry thread index out of range");
+}
+
+} // namespace dps::flow

@@ -1,0 +1,150 @@
+// Flow graph construction and validation.
+//
+// A flow graph is a DAG of leaf / split / merge / stream operations with
+// routing functions on edges (paper §2, Fig. 1).  Graphs are built at run
+// time by application code; thread groups declare the logical DPS threads
+// operations run on, and a Deployment maps threads onto compute nodes.
+//
+// Split/stream scopes are paired explicitly with their closing merge/stream
+// via pair(); validate() checks acyclicity, port uniqueness, pairing
+// completeness and reachability, so malformed graphs fail before any engine
+// runs them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "flow/ids.hpp"
+#include "flow/operation.hpp"
+#include "flow/routing.hpp"
+
+namespace dps::flow {
+
+enum class OpKind : std::uint8_t { Leaf, Split, Merge, Stream };
+
+const char* toString(OpKind k);
+
+/// Limits the number of data objects in circulation between a split/stream
+/// instance and its matching merge (paper §2 flow control, Fig. 6).
+struct FlowControlSpec {
+  std::int32_t maxInFlight = 0; // 0 = unlimited
+};
+
+/// Pseudo destination: objects posted on an edge to kOutputOp become run
+/// results instead of being delivered to an operation.
+constexpr OpId kOutputOp = -2;
+
+struct EdgeSpec {
+  OpId from = kNoOp;
+  std::int32_t port = 0;
+  OpId to = kNoOp;
+  RoutingFn route;
+};
+
+struct OpSpec {
+  std::string name;
+  OpKind kind = OpKind::Leaf;
+  GroupId group = -1;
+  OperationFactory factory;
+  /// For split/stream: port -> merge/stream closing that port's scope.
+  std::map<std::int32_t, OpId> scopeCloserByPort;
+  /// For split/stream: port -> flow control on that port's emissions.
+  std::map<std::int32_t, FlowControlSpec> flowControlByPort;
+  /// For merge/stream: the (opener, port) scopes this op closes.
+  std::vector<std::pair<OpId, std::int32_t>> closes;
+  /// Out-edges indexed by port (dense, port p stored at outEdges[p]).
+  std::vector<std::int32_t> outEdges; // indices into FlowGraph::edges_
+};
+
+struct GroupSpec {
+  std::string name;
+  ThreadStateFactory stateFactory; // may be null
+};
+
+class FlowGraph {
+public:
+  GroupId addGroup(std::string name, ThreadStateFactory stateFactory = nullptr);
+
+  OpId addLeaf(std::string name, GroupId group, OperationFactory factory);
+  OpId addSplit(std::string name, GroupId group, OperationFactory factory);
+  OpId addMerge(std::string name, GroupId group, OperationFactory factory);
+  OpId addStream(std::string name, GroupId group, OperationFactory factory);
+
+  /// Declares that `closer` (merge or stream) closes the scope opened by
+  /// `opener`'s emissions on `port`.  An opener may open one scope per
+  /// emitting port; a closer may close scopes of several openers.
+  void pair(OpId opener, std::int32_t port, OpId closer);
+
+  /// Enables flow control on a split/stream port's emissions.
+  void setFlowControl(OpId opener, std::int32_t port, FlowControlSpec fc);
+
+  /// Adds the edge (from, port) -> to with the given routing function.
+  void connect(OpId from, std::int32_t port, OpId to, RoutingFn route);
+  /// Marks (from, port) as a program output.
+  void connectOutput(OpId from, std::int32_t port);
+
+  /// Declares the operation that receives program input objects.
+  void setEntry(OpId op, std::int32_t entryThread = 0);
+
+  /// Structural validation; throws GraphError on any defect.  Must be
+  /// called (directly or by an engine) before execution.
+  void validate() const;
+
+  // --- engine accessors ---
+  std::size_t opCount() const { return ops_.size(); }
+  std::size_t groupCount() const { return groups_.size(); }
+  const OpSpec& op(OpId id) const;
+  const GroupSpec& group(GroupId id) const;
+  const EdgeSpec& edge(std::int32_t idx) const { return edges_.at(idx); }
+  /// Edge leaving (op, port); nullopt if the port is a program output or
+  /// unconnected.
+  std::optional<std::int32_t> edgeAt(OpId op, std::int32_t port) const;
+  bool isOutputPort(OpId op, std::int32_t port) const;
+  /// Closer of (opener, port)'s scope; kNoOp if the port is unpaired (its
+  /// posts forward the current lineage instead of opening a scope).
+  OpId closerOf(OpId opener, std::int32_t port) const;
+  FlowControlSpec flowControlOf(OpId opener, std::int32_t port) const;
+  OpId entryOp() const { return entry_; }
+  std::int32_t entryThread() const { return entryThread_; }
+
+private:
+  OpId addOp(std::string name, OpKind kind, GroupId group, OperationFactory factory);
+
+  std::vector<OpSpec> ops_;
+  std::vector<GroupSpec> groups_;
+  std::vector<EdgeSpec> edges_;
+  std::vector<std::pair<OpId, std::int32_t>> outputPorts_;
+  OpId entry_ = kNoOp;
+  std::int32_t entryThread_ = 0;
+};
+
+/// Maps every logical thread of every group onto a compute node.
+struct Deployment {
+  /// groupNodes[g][t] = node hosting thread t of group g.
+  std::vector<std::vector<NodeId>> groupNodes;
+  std::int32_t nodeCount = 0;
+
+  /// Round-robins `threads` threads of each group over `nodes` nodes.
+  static Deployment roundRobin(const FlowGraph& g,
+                               const std::vector<std::int32_t>& groupThreadCounts,
+                               std::int32_t nodes);
+
+  NodeId nodeOf(ThreadRef t) const { return groupNodes.at(t.group).at(t.index); }
+  std::int32_t threadsIn(GroupId g) const {
+    return static_cast<std::int32_t>(groupNodes.at(g).size());
+  }
+  void validateAgainst(const FlowGraph& g) const;
+};
+
+/// A complete executable: graph + deployment + input objects.
+struct Program {
+  const FlowGraph* graph = nullptr;
+  Deployment deployment;
+  std::vector<serial::ObjectPtr> inputs;
+};
+
+} // namespace dps::flow

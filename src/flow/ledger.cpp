@@ -1,0 +1,80 @@
+#include "flow/ledger.hpp"
+
+#include "support/error.hpp"
+
+namespace dps::flow {
+
+std::uint64_t Ledger::openInstance(OpId opener, std::int32_t maxInFlight) {
+  const std::uint64_t id = nextInstance_++;
+  Entry e;
+  e.opener = opener;
+  e.maxInFlight = maxInFlight;
+  table_.emplace(id, e);
+  return id;
+}
+
+const Ledger::Entry& Ledger::get(std::uint64_t instance) const {
+  auto it = table_.find(instance);
+  DPS_CHECK(it != table_.end(), "unknown instance " + std::to_string(instance));
+  return it->second;
+}
+
+Ledger::Entry& Ledger::get(std::uint64_t instance) {
+  return const_cast<Entry&>(static_cast<const Ledger*>(this)->get(instance));
+}
+
+bool Ledger::canEmit(std::uint64_t instance) const {
+  const Entry& e = get(instance);
+  DPS_CHECK(!e.emitterClosed, "emission after emitter closed");
+  return e.maxInFlight == 0 || e.tokensHeld < e.maxInFlight;
+}
+
+std::uint64_t Ledger::recordEmission(std::uint64_t instance) {
+  Entry& e = get(instance);
+  DPS_CHECK(!e.emitterClosed, "emission after emitter closed");
+  DPS_CHECK(e.maxInFlight == 0 || e.tokensHeld < e.maxInFlight,
+            "emission without available flow-control token");
+  if (e.maxInFlight > 0) ++e.tokensHeld;
+  return e.emitted++;
+}
+
+bool Ledger::closeEmitter(std::uint64_t instance) {
+  Entry& e = get(instance);
+  DPS_CHECK(!e.emitterClosed, "emitter closed twice");
+  DPS_CHECK(e.emitted > 0, "instance closed with zero emissions (empty split scopes "
+                           "are not allowed; emit a sentinel object instead)");
+  e.emitterClosed = true;
+  return e.absorbed == e.emitted;
+}
+
+bool Ledger::recordAbsorb(std::uint64_t instance) {
+  Entry& e = get(instance);
+  ++e.absorbed;
+  DPS_CHECK(!e.emitterClosed || e.absorbed <= e.emitted,
+            "closer absorbed more objects than the opener emitted");
+  return e.emitterClosed && e.absorbed == e.emitted;
+}
+
+bool Ledger::releaseToken(std::uint64_t instance) {
+  Entry& e = get(instance);
+  if (e.maxInFlight == 0) return false;
+  DPS_CHECK(e.tokensHeld > 0, "token release without held token");
+  const bool wasBlocked = e.tokensHeld == e.maxInFlight;
+  --e.tokensHeld;
+  return wasBlocked && !e.emitterClosed;
+}
+
+bool Ledger::isComplete(std::uint64_t instance) const {
+  const Entry& e = get(instance);
+  return e.emitterClosed && e.absorbed == e.emitted;
+}
+
+std::uint64_t Ledger::emitted(std::uint64_t instance) const { return get(instance).emitted; }
+std::uint64_t Ledger::absorbed(std::uint64_t instance) const { return get(instance).absorbed; }
+OpId Ledger::openerOf(std::uint64_t instance) const { return get(instance).opener; }
+
+void Ledger::erase(std::uint64_t instance) {
+  DPS_CHECK(table_.erase(instance) == 1, "erasing unknown instance");
+}
+
+} // namespace dps::flow

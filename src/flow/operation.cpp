@@ -1,0 +1,11 @@
+#include "flow/operation.hpp"
+
+#include "support/error.hpp"
+
+namespace dps::flow {
+
+void Operation::emitOne(OpContext&) {
+  DPS_CHECK(false, "emitOne called on an operation that never reports pending emissions");
+}
+
+} // namespace dps::flow

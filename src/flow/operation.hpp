@@ -1,0 +1,116 @@
+// Application-facing operation interface.
+//
+// Operations are written once and run unchanged on both the discrete-event
+// simulator and the OS-thread runtime engine — the paper's "the real and
+// simulated applications may be run identically" property (§3).
+//
+// The engine drives operations through an incremental protocol whose call
+// boundaries are exactly the paper's *atomic steps*:
+//
+//   onInput(ctx, obj)   one step: leaf compute, split intake, merge/stream
+//                       absorb.  May post() (each post ends a timing
+//                       segment, like S1/S2 in Fig. 2).
+//   hasPending()        split/stream: more emissions queued?
+//   emitOne(ctx)        emits exactly ONE object; called only when a
+//                       flow-control token is available, which realizes
+//                       operation suspension without suspending any thread.
+//   onAllInputsDone(ctx) merge finalization / stream group completion.
+//
+// Kernel execution vs. modeling (partial direct execution, §4): wrap every
+// expensive computation in ctx.kernel(modeledCost, realWork).  Under direct
+// execution the work runs (and is measured); under PDEXEC only the modeled
+// cost is charged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "flow/ids.hpp"
+#include "serial/object.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace dps::flow {
+
+/// Per-(thread, run) application state; the "local thread state" DPS ops use
+/// to hold data between operations (e.g. the LU app's column blocks).
+class ThreadState {
+public:
+  virtual ~ThreadState() = default;
+};
+
+class OpContext {
+public:
+  virtual ~OpContext() = default;
+
+  /// Current virtual (sim engine) or wall-relative (runtime engine) time.
+  virtual SimTime now() const = 0;
+  /// Index of the executing thread within the operation's group.
+  virtual std::int32_t threadIndex() const = 0;
+  virtual std::int32_t groupSize(GroupId g) const = 0;
+  /// Active thread indices of a group (dynamic allocation aware).
+  virtual std::span<const std::int32_t> activeThreads(GroupId g) const = 0;
+  /// This thread's application state (created by the group's state factory).
+  virtual ThreadState* threadState() = 0;
+
+  /// Posts a data object on the given output port.  Ends the current timing
+  /// segment: the transfer departs at the corresponding virtual instant.
+  virtual void post(serial::ObjectPtr obj, std::int32_t port = 0) = 0;
+
+  /// Charges modeled computation time to the current atomic step (PDEXEC).
+  virtual void charge(SimDuration d) = 0;
+  /// True when real kernels should execute (direct execution); false when
+  /// the engine runs in PDEXEC mode and modeled costs should be charged.
+  virtual bool executeKernels() const = 0;
+  /// False in NOALLOC mode: applications should create phantom payloads and
+  /// skip large allocations (paper §7, "PDEXEC NOALLOC").
+  virtual bool allocatePayloads() const = 0;
+
+  /// Emits an application progress marker, e.g. ("iteration", 3).  Markers
+  /// segment the dynamic-efficiency timeline and trigger allocation events.
+  virtual void marker(std::string_view name, std::int64_t value) = 0;
+
+  /// Deterministic per-thread random stream.
+  virtual Rng& rng() = 0;
+
+  /// Runs `realWork` under direct execution, otherwise charges `modeled`.
+  template <typename Fn>
+  void kernel(SimDuration modeled, Fn&& realWork) {
+    if (executeKernels()) {
+      realWork();
+    } else {
+      charge(modeled);
+    }
+  }
+};
+
+class Operation {
+public:
+  virtual ~Operation() = default;
+
+  /// Consumes one input object (one atomic step).
+  virtual void onInput(OpContext& ctx, const serial::ObjectBase& in) = 0;
+
+  /// Split/stream: true while emissions are queued.
+  virtual bool hasPending() const { return false; }
+
+  /// Split/stream: output port of the next queued emission.  The engine
+  /// checks this port's flow-control token before calling emitOne, which is
+  /// what suspends an operation that ran out of tokens (paper §2/§3).
+  virtual std::int32_t pendingPort() const { return 0; }
+
+  /// Split/stream: emits exactly one queued object (one atomic step) on
+  /// pendingPort().
+  virtual void emitOne(OpContext& ctx);
+
+  /// Merge: all inputs of the instance absorbed — aggregate and post.
+  /// Stream: the upstream scope closed — flush any trailing emissions.
+  virtual void onAllInputsDone(OpContext& ctx) { (void)ctx; }
+};
+
+using OperationFactory = std::function<std::unique_ptr<Operation>()>;
+using ThreadStateFactory = std::function<std::unique_ptr<ThreadState>(std::int32_t threadIndex)>;
+
+} // namespace dps::flow

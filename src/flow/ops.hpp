@@ -1,0 +1,107 @@
+// Reusable operation adaptors.
+//
+// QueueEmitter implements the split/stream emission protocol (hasPending /
+// pendingPort / emitOne) over an internal FIFO; concrete splits and streams
+// enqueue emissions from onInput / onAllInputsDone and inherit correct
+// flow-control behaviour for free.  LambdaLeaf/LambdaSplit cover the small
+// one-off operations (tests, examples).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "flow/operation.hpp"
+#include "support/error.hpp"
+
+namespace dps::flow {
+
+/// Base class for splits and streams: queue emissions, emit one per step.
+class QueueEmitter : public Operation {
+public:
+  bool hasPending() const final { return !queue_.empty(); }
+  std::int32_t pendingPort() const final {
+    DPS_CHECK(!queue_.empty(), "pendingPort with empty queue");
+    return queue_.front().port;
+  }
+  void emitOne(OpContext& ctx) final {
+    DPS_CHECK(!queue_.empty(), "emitOne with empty queue");
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    if (p.charge > SimDuration::zero()) ctx.charge(p.charge);
+    if (p.prepare) p.prepare(ctx);
+    ctx.post(std::move(p.obj), p.port);
+  }
+
+protected:
+  /// Queues an emission; `charge` models the cost of generating the object
+  /// (PDEXEC), `prepare` runs just before the post (direct execution work
+  /// such as copying payload blocks).
+  void enqueue(serial::ObjectPtr obj, std::int32_t port = 0,
+               SimDuration charge = SimDuration::zero(),
+               std::function<void(OpContext&)> prepare = nullptr) {
+    DPS_CHECK(obj != nullptr, "enqueueing null object");
+    queue_.push_back(Pending{std::move(obj), port, charge, std::move(prepare)});
+  }
+
+  std::size_t queuedCount() const { return queue_.size(); }
+
+private:
+  struct Pending {
+    serial::ObjectPtr obj;
+    std::int32_t port;
+    SimDuration charge;
+    std::function<void(OpContext&)> prepare;
+  };
+  std::deque<Pending> queue_;
+};
+
+/// Leaf from a callable: void(OpContext&, const ObjectBase&).
+class LambdaLeaf final : public Operation {
+public:
+  using Fn = std::function<void(OpContext&, const serial::ObjectBase&)>;
+  explicit LambdaLeaf(Fn fn) : fn_(std::move(fn)) {}
+  void onInput(OpContext& ctx, const serial::ObjectBase& in) override { fn_(ctx, in); }
+
+private:
+  Fn fn_;
+};
+
+/// Split from a callable that enqueues emissions through the emitter.
+class LambdaSplit final : public QueueEmitter {
+public:
+  /// The callable receives (*this) to enqueue emissions.
+  using Fn = std::function<void(LambdaSplit&, OpContext&, const serial::ObjectBase&)>;
+  explicit LambdaSplit(Fn fn) : fn_(std::move(fn)) {}
+  void onInput(OpContext& ctx, const serial::ObjectBase& in) override { fn_(*this, ctx, in); }
+  using QueueEmitter::enqueue; // expose to the callable
+
+private:
+  Fn fn_;
+};
+
+/// Merge from callables: absorb per input, finish once all inputs arrived.
+class LambdaMerge final : public Operation {
+public:
+  using AbsorbFn = std::function<void(OpContext&, const serial::ObjectBase&)>;
+  using FinishFn = std::function<void(OpContext&)>;
+  LambdaMerge(AbsorbFn absorb, FinishFn finish)
+      : absorb_(std::move(absorb)), finish_(std::move(finish)) {}
+  void onInput(OpContext& ctx, const serial::ObjectBase& in) override { absorb_(ctx, in); }
+  void onAllInputsDone(OpContext& ctx) override {
+    if (finish_) finish_(ctx);
+  }
+
+private:
+  AbsorbFn absorb_;
+  FinishFn finish_;
+};
+
+/// Factory helper: makeOp<MyOperation>(ctor args...) returns an
+/// OperationFactory creating a fresh instance per activation.
+template <typename T, typename... Args>
+OperationFactory makeOp(Args... args) {
+  return [=]() -> std::unique_ptr<Operation> { return std::make_unique<T>(args...); };
+}
+
+} // namespace dps::flow

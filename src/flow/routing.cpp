@@ -1,0 +1,36 @@
+#include "flow/routing.hpp"
+
+#include "support/error.hpp"
+
+namespace dps::flow {
+
+RoutingFn routeTo(std::int32_t index) {
+  return [index](const RouteContext&, const serial::ObjectBase&) { return index; };
+}
+
+RoutingFn roundRobinActive() {
+  return [](const RouteContext& rc, const serial::ObjectBase&) {
+    DPS_CHECK(!rc.dstActive.empty(), "routing into group with no active threads");
+    return rc.dstActive[rc.emission % rc.dstActive.size()];
+  };
+}
+
+RoutingFn sameIndex() {
+  return [](const RouteContext& rc, const serial::ObjectBase&) { return rc.srcThreadIndex; };
+}
+
+RoutingFn byKeyActive(std::function<std::uint64_t(const serial::ObjectBase&)> key) {
+  return [key = std::move(key)](const RouteContext& rc, const serial::ObjectBase& obj) {
+    DPS_CHECK(!rc.dstActive.empty(), "routing into group with no active threads");
+    return rc.dstActive[key(obj) % rc.dstActive.size()];
+  };
+}
+
+RoutingFn byKeyStatic(std::function<std::uint64_t(const serial::ObjectBase&)> key) {
+  return [key = std::move(key)](const RouteContext& rc, const serial::ObjectBase& obj) {
+    DPS_CHECK(rc.dstGroupSize > 0, "routing into empty group");
+    return static_cast<std::int32_t>(key(obj) % static_cast<std::uint64_t>(rc.dstGroupSize));
+  };
+}
+
+} // namespace dps::flow

@@ -1,0 +1,52 @@
+// Routing functions: user-defined mapping of data objects onto the threads
+// of the destination group (paper §2: "evaluating at runtime a user defined
+// routing function attached to the corresponding directed edge").
+//
+// Routing sees the *active* thread set, which is how dynamically varying
+// node allocation reaches applications: a removed thread simply disappears
+// from `active`, and helpers like roundRobinActive spread work over the
+// remaining ones.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "serial/object.hpp"
+
+namespace dps::flow {
+
+struct RouteContext {
+  /// Index of the posting thread within its own group.
+  std::int32_t srcThreadIndex = 0;
+  /// Declared size of the destination group (includes inactive threads).
+  std::int32_t dstGroupSize = 0;
+  /// Currently active thread indices of the destination group, ascending.
+  std::span<const std::int32_t> dstActive;
+  /// Index of this object within its split/stream instance's emissions.
+  std::uint64_t emission = 0;
+  /// Global object sequence number.
+  std::uint64_t seq = 0;
+};
+
+/// Returns the destination thread index within the target group.
+using RoutingFn = std::function<std::int32_t(const RouteContext&, const serial::ObjectBase&)>;
+
+/// Always routes to a fixed thread index.
+RoutingFn routeTo(std::int32_t index);
+
+/// Routes emission i to active[i mod |active|] — the paper's "evenly
+/// distributed on all threads" pattern, allocation-aware.
+RoutingFn roundRobinActive();
+
+/// Routes back to the thread index the object was posted from (useful for
+/// results returning to a per-thread master).
+RoutingFn sameIndex();
+
+/// Routes by an application key: thread = active[key(obj) mod |active|].
+RoutingFn byKeyActive(std::function<std::uint64_t(const serial::ObjectBase&)> key);
+
+/// Routes by key over the *declared* group, ignoring allocation state (for
+/// data-locality routing where state must stay put, e.g. column owners).
+RoutingFn byKeyStatic(std::function<std::uint64_t(const serial::ObjectBase&)> key);
+
+} // namespace dps::flow

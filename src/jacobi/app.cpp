@@ -1,0 +1,350 @@
+#include "jacobi/app.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flow/ops.hpp"
+#include "flow/routing.hpp"
+#include "jacobi/objects.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dps::jacobi {
+
+namespace {
+
+struct Env {
+  JacobiConfig cfg;
+  JacobiCostModel model;
+  bool allocate = true;
+};
+using EnvPtr = std::shared_ptr<const Env>;
+
+JacobiState& state(flow::OpContext& ctx) {
+  auto* st = dynamic_cast<JacobiState*>(ctx.threadState());
+  DPS_CHECK(st != nullptr, "jacobi op running without JacobiState");
+  return *st;
+}
+
+double initialValue(std::uint64_t seed, std::int32_t i, std::int32_t j) {
+  SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(i) * 0x9E3779B1 + static_cast<std::uint64_t>(j)));
+  sm.next();
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+/// Master split of the exchange phase: one MoveOrder per (strip, direction).
+class ExchangeSplit final : public flow::QueueEmitter {
+public:
+  ExchangeSplit(EnvPtr env, std::int32_t sweep) : env_(std::move(env)), sweep_(sweep) {}
+  void onInput(flow::OpContext&, const serial::ObjectBase&) override {
+    for (std::int32_t t = 0; t < env_->cfg.workers; ++t) {
+      for (std::int32_t dir : {-1, +1}) {
+        const std::int32_t dst = t + dir;
+        if (dst < 0 || dst >= env_->cfg.workers) continue;
+        auto order = std::make_shared<MoveOrder>();
+        order->thread = t;
+        order->direction = dir;
+        order->sweep = sweep_;
+        enqueue(std::move(order));
+      }
+    }
+  }
+
+private:
+  EnvPtr env_;
+  std::int32_t sweep_;
+};
+
+/// Reads the boundary row and ships it to the neighbour.
+class HaloLeaf final : public flow::Operation {
+public:
+  explicit HaloLeaf(EnvPtr env) : env_(std::move(env)) {}
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& order = dynamic_cast<const MoveOrder&>(in);
+    auto halo = std::make_shared<HaloRow>();
+    halo->fromThread = order.thread;
+    halo->direction = order.direction;
+    halo->sweep = order.sweep;
+    if (ctx.executeKernels()) {
+      JacobiState& st = state(ctx);
+      const lin::Matrix& cur = st.current();
+      const std::int32_t row = order.direction < 0 ? 0 : cur.rows() - 1;
+      halo->row.assign(cur.rowPtr(row), cur.rowPtr(row) + cur.cols());
+    } else {
+      ctx.charge(env_->model.rowCopy(env_->cfg.cols));
+      if (env_->allocate) halo->row.assign(env_->cfg.cols, 0.0);
+      else halo->phantomCols = env_->cfg.cols;
+    }
+    ctx.post(std::move(halo));
+  }
+
+private:
+  EnvPtr env_;
+};
+
+/// Stores a received halo row and acknowledges to the barrier merge.
+class HaloStore final : public flow::Operation {
+public:
+  explicit HaloStore(EnvPtr env) : env_(std::move(env)) {}
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& halo = dynamic_cast<const HaloRow&>(in);
+    if (ctx.executeKernels()) {
+      // Key by the side the halo belongs to from the receiver's viewpoint:
+      // a row sent downwards (+1) is the receiver's upper (-1) halo.
+      state(ctx).halos[-halo.direction] = halo.row;
+    } else {
+      ctx.charge(env_->model.rowCopy(env_->cfg.cols));
+    }
+    auto ack = std::make_shared<HaloStored>();
+    ack->atThread = ctx.threadIndex();
+    ack->sweep = halo.sweep;
+    ctx.post(std::move(ack));
+  }
+
+private:
+  EnvPtr env_;
+};
+
+/// Barrier merge (exchange or compute phase); forwards one token.
+class BarrierMerge final : public flow::Operation {
+public:
+  /// Port 0 carries the continuation token or the final result.
+  BarrierMerge(EnvPtr env, std::int32_t sweep, bool lastSweep, bool computePhase)
+      : env_(std::move(env)), sweep_(sweep), last_(lastSweep), compute_(computePhase) {}
+
+  void onInput(flow::OpContext&, const serial::ObjectBase& in) override {
+    if (const auto* done = dynamic_cast<const StripDone*>(&in))
+      residual_ = std::max(residual_, done->residual);
+  }
+
+  void onAllInputsDone(flow::OpContext& ctx) override {
+    if (compute_) ctx.marker("sweep", sweep_ + 1);
+    if (compute_ && last_) {
+      auto result = std::make_shared<JacobiResult>();
+      result->sweeps = env_->cfg.sweeps;
+      result->residual = residual_;
+      ctx.post(std::move(result));
+      return;
+    }
+    auto token = std::make_shared<StartJacobi>();
+    token->rows = env_->cfg.rows;
+    token->cols = env_->cfg.cols;
+    token->sweeps = env_->cfg.sweeps;
+    ctx.post(std::move(token));
+  }
+
+private:
+  EnvPtr env_;
+  std::int32_t sweep_;
+  bool last_;
+  bool compute_;
+  double residual_ = 0;
+};
+
+/// Master split of the compute phase: one ComputeOrder per strip.
+class ComputeSplit final : public flow::QueueEmitter {
+public:
+  ComputeSplit(EnvPtr env, std::int32_t sweep) : env_(std::move(env)), sweep_(sweep) {}
+  void onInput(flow::OpContext&, const serial::ObjectBase&) override {
+    for (std::int32_t t = 0; t < env_->cfg.workers; ++t) {
+      auto order = std::make_shared<ComputeOrder>();
+      order->thread = t;
+      order->sweep = sweep_;
+      enqueue(std::move(order));
+    }
+  }
+
+private:
+  EnvPtr env_;
+  std::int32_t sweep_;
+};
+
+/// Relaxes one strip: 5-point Jacobi with fixed (Dirichlet) boundary.
+class ComputeLeaf final : public flow::Operation {
+public:
+  explicit ComputeLeaf(EnvPtr env) : env_(std::move(env)) {}
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& order = dynamic_cast<const ComputeOrder&>(in);
+    auto done = std::make_shared<StripDone>();
+    done->thread = order.thread;
+    done->sweep = order.sweep;
+
+    const JacobiConfig& cfg = env_->cfg;
+    if (ctx.executeKernels()) {
+      JacobiState& st = state(ctx);
+      const lin::Matrix& cur = st.current();
+      lin::Matrix& nxt = st.next();
+      const std::int32_t S = cfg.stripRows();
+      const std::int32_t g0 = order.thread * S;
+      double residual = 0;
+      for (std::int32_t r = 0; r < S; ++r) {
+        const std::int32_t gi = g0 + r;
+        const double* mid = cur.rowPtr(r);
+        double* out = nxt.rowPtr(r);
+        if (gi == 0 || gi == cfg.rows - 1) {
+          std::copy(mid, mid + cfg.cols, out);
+          continue;
+        }
+        const double* up =
+            r > 0 ? cur.rowPtr(r - 1) : st.halos.at(-1).data();
+        const double* down =
+            r < S - 1 ? cur.rowPtr(r + 1) : st.halos.at(+1).data();
+        out[0] = mid[0];
+        out[cfg.cols - 1] = mid[cfg.cols - 1];
+        for (std::int32_t j = 1; j < cfg.cols - 1; ++j) {
+          out[j] = 0.25 * (up[j] + down[j] + mid[j - 1] + mid[j + 1]);
+          residual = std::max(residual, std::fabs(out[j] - mid[j]));
+        }
+      }
+      st.currentIsA = !st.currentIsA;
+      st.halos.clear();
+      done->residual = residual;
+    } else {
+      ctx.charge(env_->model.sweepCost(cfg.stripRows(), cfg.cols));
+    }
+    ctx.post(std::move(done));
+  }
+
+private:
+  EnvPtr env_;
+};
+
+} // namespace
+
+void JacobiConfig::validate() const {
+  if (rows < 4 || cols < 4) throw ConfigError("jacobi: grid too small");
+  if (sweeps < 1) throw ConfigError("jacobi: need at least one sweep");
+  if (workers < 2) throw ConfigError("jacobi: need at least two strips (halo exchange)");
+  if (rows % workers != 0) throw ConfigError("jacobi: workers must divide rows");
+  if (rows / workers < 1) throw ConfigError("jacobi: empty strips");
+}
+
+lin::Matrix initialGrid(const JacobiConfig& cfg) {
+  lin::Matrix g(cfg.rows, cfg.cols);
+  for (std::int32_t i = 0; i < cfg.rows; ++i)
+    for (std::int32_t j = 0; j < cfg.cols; ++j) g(i, j) = initialValue(cfg.seed, i, j);
+  return g;
+}
+
+lin::Matrix referenceJacobi(const JacobiConfig& cfg) {
+  lin::Matrix cur = initialGrid(cfg);
+  lin::Matrix nxt = cur;
+  for (std::int32_t s = 0; s < cfg.sweeps; ++s) {
+    for (std::int32_t i = 1; i < cfg.rows - 1; ++i)
+      for (std::int32_t j = 1; j < cfg.cols - 1; ++j)
+        nxt(i, j) = 0.25 * (cur(i - 1, j) + cur(i + 1, j) + cur(i, j - 1) + cur(i, j + 1));
+    std::swap(cur.storage(), nxt.storage());
+  }
+  return cur;
+}
+
+JacobiBuild buildJacobi(const JacobiConfig& cfg, const JacobiCostModel& model, bool allocate) {
+  cfg.validate();
+  auto env = std::make_shared<Env>(Env{cfg, model, allocate});
+
+  JacobiBuild build;
+  build.cfg = cfg;
+  build.graph = std::make_unique<flow::FlowGraph>();
+  auto& g = *build.graph;
+
+  build.master = g.addGroup("master");
+  build.workers = g.addGroup("strips", [env](std::int32_t t) {
+    auto st = std::make_unique<JacobiState>();
+    if (env->allocate) {
+      const std::int32_t S = env->cfg.stripRows();
+      st->bufA = lin::Matrix(S, env->cfg.cols);
+      for (std::int32_t r = 0; r < S; ++r)
+        for (std::int32_t j = 0; j < env->cfg.cols; ++j)
+          st->bufA(r, j) = initialValue(env->cfg.seed, t * S + r, j);
+      st->bufB = st->bufA;
+    }
+    return st;
+  });
+
+  using flow::makeOp;
+  flow::OpId prevBarrier = flow::kNoOp; // emits the phase token on port 0
+
+  for (std::int32_t s = 0; s < cfg.sweeps; ++s) {
+    const std::string suffix = "_" + std::to_string(s);
+
+    const auto exSplit =
+        g.addSplit("exchange" + suffix, build.master, makeOp<ExchangeSplit>(env, s));
+    const auto haloLeaf = g.addLeaf("halo" + suffix, build.workers, makeOp<HaloLeaf>(env));
+    const auto haloStore = g.addLeaf("store" + suffix, build.workers, makeOp<HaloStore>(env));
+    const auto exMerge = g.addMerge("exBarrier" + suffix, build.master,
+                                    makeOp<BarrierMerge>(env, s, false, false));
+    const auto coSplit =
+        g.addSplit("compute" + suffix, build.master, makeOp<ComputeSplit>(env, s));
+    const auto coLeaf = g.addLeaf("relax" + suffix, build.workers, makeOp<ComputeLeaf>(env));
+    const auto coMerge = g.addMerge("coBarrier" + suffix, build.master,
+                                    makeOp<BarrierMerge>(env, s, s == cfg.sweeps - 1, true));
+
+    if (s == 0) g.setEntry(exSplit, 0);
+    else g.connect(prevBarrier, 0, exSplit, flow::routeTo(0));
+
+    g.connect(exSplit, 0, haloLeaf,
+              flow::byKeyStatic([](const serial::ObjectBase& o) {
+                return static_cast<std::uint64_t>(dynamic_cast<const MoveOrder&>(o).thread);
+              }));
+    g.pair(exSplit, 0, exMerge);
+    // Neighbourhood exchange with *relative thread indices* (paper §2).
+    g.connect(haloLeaf, 0, haloStore,
+              [](const flow::RouteContext& rc, const serial::ObjectBase& o) {
+                return rc.srcThreadIndex + dynamic_cast<const HaloRow&>(o).direction;
+              });
+    g.connect(haloStore, 0, exMerge, flow::routeTo(0));
+    g.connect(exMerge, 0, coSplit, flow::routeTo(0));
+
+    g.connect(coSplit, 0, coLeaf,
+              flow::byKeyStatic([](const serial::ObjectBase& o) {
+                return static_cast<std::uint64_t>(dynamic_cast<const ComputeOrder&>(o).thread);
+              }));
+    g.pair(coSplit, 0, coMerge);
+    g.connect(coLeaf, 0, coMerge, flow::routeTo(0));
+    if (s == cfg.sweeps - 1) g.connectOutput(coMerge, 0);
+    prevBarrier = coMerge;
+  }
+
+  auto start = std::make_shared<StartJacobi>();
+  start->rows = cfg.rows;
+  start->cols = cfg.cols;
+  start->sweeps = cfg.sweeps;
+  build.inputs.push_back(std::move(start));
+  return build;
+}
+
+flow::Program makeProgram(const JacobiBuild& build) {
+  flow::Program prog;
+  prog.graph = build.graph.get();
+  prog.deployment.nodeCount = build.cfg.workers + 1;
+  prog.deployment.groupNodes.resize(2);
+  prog.deployment.groupNodes[build.master] = {0};
+  for (std::int32_t t = 0; t < build.cfg.workers; ++t)
+    prog.deployment.groupNodes[build.workers].push_back(1 + t);
+  prog.inputs = build.inputs;
+  return prog;
+}
+
+core::RunResult runJacobi(core::SimEngine& engine, const JacobiBuild& build) {
+  return engine.run(makeProgram(build));
+}
+
+double verifyJacobi(const JacobiConfig& cfg, const core::RunResult& result,
+                    flow::GroupId workers) {
+  const lin::Matrix reference = referenceJacobi(cfg);
+  double worst = 0;
+  const std::int32_t S = cfg.stripRows();
+  const auto& states = result.threadStates.at(workers);
+  DPS_CHECK(states.size() == static_cast<std::size_t>(cfg.workers), "missing strips");
+  for (std::int32_t t = 0; t < cfg.workers; ++t) {
+    const auto* st = dynamic_cast<const JacobiState*>(states[t].get());
+    DPS_CHECK(st != nullptr, "strip state missing");
+    const lin::Matrix& strip = const_cast<JacobiState*>(st)->current();
+    for (std::int32_t r = 0; r < S; ++r)
+      for (std::int32_t j = 0; j < cfg.cols; ++j)
+        worst = std::max(worst, std::fabs(strip(r, j) - reference(t * S + r, j)));
+  }
+  return worst;
+}
+
+} // namespace dps::jacobi

@@ -1,0 +1,93 @@
+// Jacobi stencil application: graph builder, verification, cost model.
+//
+// BSP formulation, one DAG segment per sweep (like the LU app unrolls its
+// levels):
+//
+//   ExchangeSplit_s ──> HaloLeaf ──> HaloStore ──> ExchangeMerge_s ─┐
+//        ^  (master)     (owner)      (neighbour,      (master)     │
+//        │                            relative-index routing)       │
+//        └───────────── ComputeMerge_{s-1} <── ComputeLeaf <── ComputeSplit_s
+//
+// The HaloLeaf -> HaloStore edge routes with *relative thread indices*
+// (srcThreadIndex + direction) — the neighbourhood-exchange pattern of
+// paper §2.  Strips double-buffer in thread state, so halo reads are
+// race-free even on the concurrent runtime engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "flow/graph.hpp"
+#include "linalg/matrix.hpp"
+#include "support/time.hpp"
+
+namespace dps::jacobi {
+
+struct JacobiConfig {
+  std::int32_t rows = 256;  // grid rows (must divide evenly by workers)
+  std::int32_t cols = 256;  // grid columns
+  std::int32_t sweeps = 8;  // relaxation sweeps
+  std::int32_t workers = 4; // strip owners
+  std::uint64_t seed = 11;  // initial-condition seed
+
+  std::int32_t stripRows() const { return rows / workers; }
+  void validate() const;
+};
+
+/// Cost model for PDEXEC runs (flop-rate based, like the LU model).
+struct JacobiCostModel {
+  double cellsPerSec = 25e6; // 4 flops/cell on the 2006 reference machine
+  double copyBytesPerSec = 150e6;
+  SimDuration perKernelOverhead = microseconds(20);
+
+  SimDuration sweepCost(std::int32_t stripRows, std::int32_t cols) const {
+    return perKernelOverhead +
+           seconds(static_cast<double>(stripRows) * cols / cellsPerSec);
+  }
+  SimDuration rowCopy(std::int32_t cols) const {
+    return seconds(static_cast<double>(cols) * sizeof(double) / copyBytesPerSec);
+  }
+};
+
+/// Worker state: double-buffered strip + received halo rows.
+struct JacobiState final : flow::ThreadState {
+  lin::Matrix bufA; // strip incl. no halos, stripRows x cols
+  lin::Matrix bufB;
+  bool currentIsA = true;
+  /// Halo rows received for the upcoming sweep: direction -> row values.
+  std::map<std::int32_t, std::vector<double>> halos;
+
+  lin::Matrix& current() { return currentIsA ? bufA : bufB; }
+  lin::Matrix& next() { return currentIsA ? bufB : bufA; }
+};
+
+struct JacobiBuild {
+  std::unique_ptr<flow::FlowGraph> graph;
+  flow::GroupId master = -1;
+  flow::GroupId workers = -1;
+  JacobiConfig cfg;
+  std::vector<serial::ObjectPtr> inputs;
+};
+
+JacobiBuild buildJacobi(const JacobiConfig& cfg, const JacobiCostModel& model,
+                        bool allocate = true);
+
+/// Runs the program on the simulator (master on node 0, workers on nodes
+/// 1..workers).
+core::RunResult runJacobi(core::SimEngine& engine, const JacobiBuild& build);
+flow::Program makeProgram(const JacobiBuild& build);
+
+/// Serial reference: relaxes the same grid and returns it.
+lin::Matrix referenceJacobi(const JacobiConfig& cfg);
+/// Initial grid (deterministic in the seed; Dirichlet boundary kept fixed).
+lin::Matrix initialGrid(const JacobiConfig& cfg);
+
+/// Reassembles the distributed grid from harvested thread states and
+/// returns max |distributed - reference| (0 expected: bit-identical math).
+double verifyJacobi(const JacobiConfig& cfg, const core::RunResult& result,
+                    flow::GroupId workers);
+
+} // namespace dps::jacobi

@@ -1,0 +1,120 @@
+// Data objects of the Jacobi stencil application.
+//
+// A second, independent DPS application (besides LU) exercising the
+// "neighborhood exchange via relative thread indices" communication
+// pattern the paper highlights in §2.  The grid is row-striped across
+// worker threads; each sweep exchanges boundary rows with the upper/lower
+// neighbours, then relaxes the strip.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serial/object.hpp"
+
+namespace dps::jacobi {
+
+/// Program input: relax a rows x cols grid for `sweeps` iterations.
+struct StartJacobi final : serial::Object<StartJacobi> {
+  static constexpr const char* kTypeName = "jacobi.start";
+  std::int32_t rows = 0;
+  std::int32_t cols = 0;
+  std::int32_t sweeps = 0;
+  template <typename Ar>
+  void describe(Ar& ar) {
+    serial::fields(ar, rows, cols, sweeps);
+  }
+};
+
+/// Order to ship one boundary row to a neighbour (+1 = down, -1 = up).
+struct MoveOrder final : serial::Object<MoveOrder> {
+  static constexpr const char* kTypeName = "jacobi.move";
+  std::int32_t thread = 0;    // source strip owner
+  std::int32_t direction = 0; // +1 or -1
+  std::int32_t sweep = 0;
+  template <typename Ar>
+  void describe(Ar& ar) {
+    serial::fields(ar, thread, direction, sweep);
+  }
+};
+
+/// A boundary row travelling to the neighbouring strip.
+struct HaloRow final : serial::Object<HaloRow> {
+  static constexpr const char* kTypeName = "jacobi.halo";
+  std::int32_t fromThread = 0;
+  std::int32_t direction = 0; // as in MoveOrder
+  std::int32_t sweep = 0;
+  std::vector<double> row;    // cols values (may be phantom-sized)
+  std::int32_t phantomCols = 0;
+  template <typename Ar>
+  void describe(Ar& ar) {
+    serial::fields(ar, fromThread, direction, sweep);
+    // Same wire size whether the payload is real or suppressed (NOALLOC).
+    std::uint8_t ph = row.empty() && phantomCols > 0 ? 1 : 0;
+    ar.value(ph);
+    if constexpr (Ar::isReading) {
+      std::int32_t n = 0;
+      ar.value(n);
+      if (ph) {
+        phantomCols = n;
+        row.clear();
+        ar.phantom(static_cast<std::size_t>(n) * sizeof(double));
+      } else {
+        row.resize(n);
+        if (n) ar.raw(row.data(), static_cast<std::size_t>(n) * sizeof(double));
+      }
+    } else {
+      std::int32_t n = ph ? phantomCols : static_cast<std::int32_t>(row.size());
+      ar.value(n);
+      if (ph) ar.phantom(static_cast<std::size_t>(n) * sizeof(double));
+      else if (n) ar.raw(row.data(), static_cast<std::size_t>(n) * sizeof(double));
+    }
+  }
+};
+
+/// Acknowledgement that a halo row was stored at its destination.
+struct HaloStored final : serial::Object<HaloStored> {
+  static constexpr const char* kTypeName = "jacobi.halostored";
+  std::int32_t atThread = 0;
+  std::int32_t sweep = 0;
+  template <typename Ar>
+  void describe(Ar& ar) {
+    serial::fields(ar, atThread, sweep);
+  }
+};
+
+/// Order to relax one strip for the sweep.
+struct ComputeOrder final : serial::Object<ComputeOrder> {
+  static constexpr const char* kTypeName = "jacobi.compute";
+  std::int32_t thread = 0;
+  std::int32_t sweep = 0;
+  template <typename Ar>
+  void describe(Ar& ar) {
+    serial::fields(ar, thread, sweep);
+  }
+};
+
+/// Strip relaxed; carries the strip's residual contribution.
+struct StripDone final : serial::Object<StripDone> {
+  static constexpr const char* kTypeName = "jacobi.stripdone";
+  std::int32_t thread = 0;
+  std::int32_t sweep = 0;
+  double residual = 0; // max |new - old| within the strip
+  template <typename Ar>
+  void describe(Ar& ar) {
+    serial::fields(ar, thread, sweep, residual);
+  }
+};
+
+/// Program output: the relaxation finished.
+struct JacobiResult final : serial::Object<JacobiResult> {
+  static constexpr const char* kTypeName = "jacobi.result";
+  std::int32_t sweeps = 0;
+  double residual = 0; // max residual of the final sweep
+  template <typename Ar>
+  void describe(Ar& ar) {
+    serial::fields(ar, sweeps, residual);
+  }
+};
+
+} // namespace dps::jacobi

@@ -1,0 +1,91 @@
+#include "linalg/blocked_lu.hpp"
+
+#include "linalg/kernels.hpp"
+#include "support/error.hpp"
+
+namespace dps::lin {
+
+BlockLuResult blockLu(Matrix a, std::int32_t r) {
+  const std::int32_t n = a.rows();
+  DPS_CHECK(a.cols() == n, "blockLu needs a square matrix");
+  DPS_CHECK(r > 0 && n % r == 0, "block size must divide n");
+  const std::int32_t levels = n / r;
+
+  BlockLuResult out;
+  out.pivots.resize(levels);
+
+  for (std::int32_t l = 0; l < levels; ++l) {
+    const std::int32_t off = l * r;
+    const std::int32_t below = n - off;
+
+    // Step 1: factor the panel (rows [off, n), columns [off, off + r)).
+    Matrix panel = a.block(off, off, below, r);
+    if (!panelLu(panel, out.pivots[l])) throw Error("singular panel in block LU");
+    a.setBlock(off, off, panel);
+
+    // Apply the panel's row swaps to the rest of the matrix (both the
+    // trailing columns and the already-factored L columns — paper ops (b)
+    // and (g)).
+    for (std::size_t j = 0; j < out.pivots[l].size(); ++j) {
+      const std::int32_t r1 = off + static_cast<std::int32_t>(j);
+      const std::int32_t r2 = off + out.pivots[l][j];
+      if (r1 == r2) continue;
+      for (std::int32_t c = 0; c < off; ++c) {
+        std::swap(a(r1, c), a(r2, c));
+      }
+      for (std::int32_t c = off + r; c < n; ++c) {
+        std::swap(a(r1, c), a(r2, c));
+      }
+    }
+
+    if (off + r == n) break;
+
+    // Step 2: T12 = L11^{-1} A12 (one trsm across all trailing columns).
+    const Matrix l11 = a.block(off, off, r, r);
+    Matrix a12 = a.block(off, off + r, r, n - off - r);
+    trsmLowerUnit(l11, a12);
+    a.setBlock(off, off + r, a12);
+
+    // Step 3: A' = B - L21 * T12.
+    const Matrix l21 = a.block(off + r, off, n - off - r, r);
+    Matrix b = a.block(off + r, off + r, n - off - r, n - off - r);
+    gemmSubtract(l21, a12, b);
+    a.setBlock(off + r, off + r, b);
+  }
+
+  out.lu = std::move(a);
+  return out;
+}
+
+BlockLuResult plainLu(Matrix a) {
+  BlockLuResult out;
+  out.pivots.resize(1);
+  if (!panelLu(a, out.pivots[0])) throw Error("singular matrix in plain LU");
+  out.lu = std::move(a);
+  return out;
+}
+
+double luResidual(const Matrix& original, const BlockLuResult& f, std::int32_t r) {
+  const std::int32_t n = original.rows();
+  // Build P * A by replaying the pivot history level by level.
+  Matrix pa = original;
+  for (std::size_t l = 0; l < f.pivots.size(); ++l) {
+    const std::int32_t off = static_cast<std::int32_t>(l) * (f.pivots.size() == 1 ? 0 : r);
+    applyPivots(pa, f.pivots[l], off);
+  }
+
+  // Extract L (unit lower) and U (upper) from the packed factor.
+  Matrix lmat(n, n);
+  Matrix umat(n, n);
+  for (std::int32_t i = 0; i < n; ++i) {
+    lmat(i, i) = 1.0;
+    for (std::int32_t j = 0; j < i; ++j) lmat(i, j) = f.lu(i, j);
+    for (std::int32_t j = i; j < n; ++j) umat(i, j) = f.lu(i, j);
+  }
+
+  Matrix residual = pa;
+  gemmSubtract(lmat, umat, residual); // residual = P*A - L*U
+  return residual.normF() / original.normF();
+}
+
+} // namespace dps::lin

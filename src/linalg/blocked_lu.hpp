@@ -1,0 +1,32 @@
+// Serial block LU with partial pivoting — the reference implementation of
+// the algorithm the DPS application distributes (paper §5, after Golub &
+// van Loan), plus verification utilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dps::lin {
+
+struct BlockLuResult {
+  /// Factored matrix: L strictly below the diagonal (unit), U on/above.
+  Matrix lu;
+  /// Per-level pivot vectors (local indices relative to the level's panel
+  /// start), outer index = level.
+  std::vector<std::vector<std::int32_t>> pivots;
+};
+
+/// Right-looking block LU with block size r (must divide n).
+/// Throws on singular panels.
+BlockLuResult blockLu(Matrix a, std::int32_t r);
+
+/// Unblocked LU with partial pivoting (ground truth for tests).
+BlockLuResult plainLu(Matrix a);
+
+/// Relative residual ‖P·A − L·U‖_F / ‖A‖_F given the original matrix and a
+/// factorization result.  P is reconstructed from the pivot history.
+double luResidual(const Matrix& original, const BlockLuResult& f, std::int32_t r);
+
+} // namespace dps::lin

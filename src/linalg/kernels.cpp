@@ -1,0 +1,104 @@
+#include "linalg/kernels.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace dps::lin {
+
+void gemmSubtract(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::int32_t m = a.rows();
+  const std::int32_t k = a.cols();
+  const std::int32_t n = b.cols();
+  DPS_CHECK(b.rows() == k && c.rows() == m && c.cols() == n, "gemm shape mismatch");
+  // i-k-j order: streams B and C rows sequentially (row-major friendly).
+  for (std::int32_t i = 0; i < m; ++i) {
+    const double* ai = a.rowPtr(i);
+    double* ci = c.rowPtr(i);
+    for (std::int32_t kk = 0; kk < k; ++kk) {
+      const double aik = ai[kk];
+      if (aik == 0.0) continue;
+      const double* bk = b.rowPtr(kk);
+      for (std::int32_t j = 0; j < n; ++j) ci[j] -= aik * bk[j];
+    }
+  }
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  const std::int32_t m = a.rows();
+  const std::int32_t k = a.cols();
+  const std::int32_t n = b.cols();
+  DPS_CHECK(b.rows() == k, "gemm shape mismatch");
+  for (std::int32_t i = 0; i < m; ++i) {
+    const double* ai = a.rowPtr(i);
+    double* ci = c.rowPtr(i);
+    for (std::int32_t kk = 0; kk < k; ++kk) {
+      const double aik = ai[kk];
+      const double* bk = b.rowPtr(kk);
+      for (std::int32_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+void trsmLowerUnit(const Matrix& l, Matrix& b) {
+  const std::int32_t k = l.rows();
+  DPS_CHECK(l.cols() == k && b.rows() == k, "trsm shape mismatch");
+  const std::int32_t n = b.cols();
+  // Forward substitution, row by row: X[i] = B[i] - sum_{t<i} L[i,t] X[t].
+  for (std::int32_t i = 1; i < k; ++i) {
+    double* bi = b.rowPtr(i);
+    const double* li = l.rowPtr(i);
+    for (std::int32_t t = 0; t < i; ++t) {
+      const double lit = li[t];
+      if (lit == 0.0) continue;
+      const double* bt = b.rowPtr(t);
+      for (std::int32_t j = 0; j < n; ++j) bi[j] -= lit * bt[j];
+    }
+  }
+}
+
+bool panelLu(Matrix& panel, std::vector<std::int32_t>& pivots) {
+  const std::int32_t m = panel.rows();
+  const std::int32_t k = panel.cols();
+  DPS_CHECK(m >= k, "panel must be tall");
+  pivots.assign(k, 0);
+  for (std::int32_t j = 0; j < k; ++j) {
+    // Partial pivoting: largest |value| in column j at/below the diagonal.
+    std::int32_t piv = j;
+    double best = std::fabs(panel(j, j));
+    for (std::int32_t i = j + 1; i < m; ++i) {
+      const double v = std::fabs(panel(i, j));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    pivots[j] = piv;
+    if (best == 0.0) return false;
+    panel.swapRows(j, piv);
+    const double inv = 1.0 / panel(j, j);
+    for (std::int32_t i = j + 1; i < m; ++i) {
+      const double lij = panel(i, j) * inv;
+      panel(i, j) = lij;
+      if (lij == 0.0) continue;
+      double* ri = panel.rowPtr(i);
+      const double* rj = panel.rowPtr(j);
+      for (std::int32_t c = j + 1; c < k; ++c) ri[c] -= lij * rj[c];
+    }
+  }
+  return true;
+}
+
+void applyPivots(Matrix& m, const std::vector<std::int32_t>& pivots, std::int32_t offset) {
+  for (std::size_t j = 0; j < pivots.size(); ++j)
+    m.swapRows(offset + static_cast<std::int32_t>(j), offset + pivots[j]);
+}
+
+void applyPivotsReverse(Matrix& m, const std::vector<std::int32_t>& pivots, std::int32_t offset) {
+  for (std::size_t j = pivots.size(); j-- > 0;)
+    m.swapRows(offset + static_cast<std::int32_t>(j), offset + pivots[j]);
+}
+
+} // namespace dps::lin

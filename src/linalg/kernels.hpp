@@ -1,0 +1,52 @@
+// Dense kernels for the block LU factorization (paper §5).
+//
+// These replace the BLAS/LAPACK routines the paper relies on (dgemm, dtrsm,
+// dgetrf, dlaswp): deterministic, portable, cache-aware-enough triple loops.
+// Flop-count helpers feed the PDEXEC cost model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dps::lin {
+
+/// C -= A * B  (A: m x k, B: k x n, C: m x n).  The update form used by the
+/// trailing-matrix step of right-looking LU.
+void gemmSubtract(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A * B.
+Matrix gemm(const Matrix& a, const Matrix& b);
+
+/// Solves L * X = B in place (B := X) where `l` is unit lower triangular
+/// (only the strictly-lower part of `l` is read).  BLAS dtrsm counterpart
+/// for computing T12 = L11^{-1} A12 (paper §5 step 2).
+void trsmLowerUnit(const Matrix& l, Matrix& b);
+
+/// In-place LU factorization with partial pivoting of an m x k panel
+/// (m >= k): rows [0, m) of `panel`.  On return the panel holds L below the
+/// unit diagonal and U on/above it; `pivots[j]` is the row swapped into row
+/// j at elimination step j (LAPACK dgetrf convention, local row indices).
+/// Returns false if a zero pivot made the panel singular.
+bool panelLu(Matrix& panel, std::vector<std::int32_t>& pivots);
+
+/// Applies panel pivots to another matrix's rows (dlaswp): for each j, swap
+/// rows (offset + j) and (offset + pivots[j]).
+void applyPivots(Matrix& m, const std::vector<std::int32_t>& pivots, std::int32_t offset);
+/// Applies pivots in reverse order (undo).
+void applyPivotsReverse(Matrix& m, const std::vector<std::int32_t>& pivots, std::int32_t offset);
+
+// --- flop counts (used by the PDEXEC cost model) ---
+constexpr double gemmFlops(std::int32_t m, std::int32_t n, std::int32_t k) {
+  return 2.0 * m * static_cast<double>(n) * k;
+}
+constexpr double trsmFlops(std::int32_t k, std::int32_t n) {
+  return static_cast<double>(k) * k * n; // unit-lower solve, k x k against k x n
+}
+constexpr double panelLuFlops(std::int32_t m, std::int32_t k) {
+  // sum_j (m - j - 1) * (k - j - 1) * 2 ~ m k^2 - k^3/3
+  return 2.0 * (static_cast<double>(m) * k * k / 2.0 - static_cast<double>(k) * k * k / 6.0);
+}
+
+} // namespace dps::lin

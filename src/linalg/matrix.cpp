@@ -1,0 +1,64 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "support/rng.hpp"
+
+namespace dps::lin {
+
+Matrix Matrix::block(std::int32_t r0, std::int32_t c0, std::int32_t rows, std::int32_t cols) const {
+  DPS_CHECK(r0 >= 0 && c0 >= 0 && r0 + rows <= rows_ && c0 + cols <= cols_, "block out of range");
+  Matrix b(rows, cols);
+  for (std::int32_t r = 0; r < rows; ++r)
+    for (std::int32_t c = 0; c < cols; ++c) b(r, c) = (*this)(r0 + r, c0 + c);
+  return b;
+}
+
+void Matrix::setBlock(std::int32_t r0, std::int32_t c0, const Matrix& b) {
+  DPS_CHECK(r0 >= 0 && c0 >= 0 && r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_,
+            "setBlock out of range");
+  for (std::int32_t r = 0; r < b.rows(); ++r)
+    for (std::int32_t c = 0; c < b.cols(); ++c) (*this)(r0 + r, c0 + c) = b(r, c);
+}
+
+void Matrix::swapRows(std::int32_t r1, std::int32_t r2) {
+  DPS_CHECK(r1 >= 0 && r1 < rows_ && r2 >= 0 && r2 < rows_, "swapRows out of range");
+  if (r1 == r2) return;
+  double* a = rowPtr(r1);
+  double* b = rowPtr(r2);
+  for (std::int32_t c = 0; c < cols_; ++c) std::swap(a[c], b[c]);
+}
+
+double Matrix::normF() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double testEntry(std::uint64_t seed, std::int32_t i, std::int32_t j, std::int32_t n) {
+  SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(i) * 0x1000003 + static_cast<std::uint64_t>(j)));
+  // Two rounds to decorrelate neighbouring indices.
+  sm.next();
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53; // [0, 1)
+  double v = 2.0 * u - 1.0;
+  if (i == j) v += 4.0; // keep the matrix comfortably non-singular
+  (void)n;
+  return v;
+}
+
+Matrix testMatrix(std::uint64_t seed, std::int32_t n) {
+  Matrix m(n, n);
+  for (std::int32_t i = 0; i < n; ++i)
+    for (std::int32_t j = 0; j < n; ++j) m(i, j) = testEntry(seed, i, j, n);
+  return m;
+}
+
+Matrix testPanel(std::uint64_t seed, std::int32_t n, std::int32_t c0, std::int32_t width) {
+  Matrix m(n, width);
+  for (std::int32_t i = 0; i < n; ++i)
+    for (std::int32_t j = 0; j < width; ++j) m(i, j) = testEntry(seed, i, c0 + j, n);
+  return m;
+}
+
+} // namespace dps::lin

@@ -1,0 +1,68 @@
+// Dense row-major matrix used by the LU test application (paper §5).
+//
+// Deliberately minimal: the simulator only needs a correct, deterministic
+// linear-algebra substrate, not a tuned BLAS.  Kernels live in kernels.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dps::lin {
+
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(std::int32_t rows, std::int32_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, fill) {
+    DPS_CHECK(rows >= 0 && cols >= 0, "negative matrix dimensions");
+  }
+
+  std::int32_t rows() const { return rows_; }
+  std::int32_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::int32_t r, std::int32_t c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  double operator()(std::int32_t r, std::int32_t c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  double* rowPtr(std::int32_t r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  const double* rowPtr(std::int32_t r) const {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& storage() { return data_; }
+  const std::vector<double>& storage() const { return data_; }
+
+  /// Copies the sub-block [r0, r0+rows) x [c0, c0+cols).
+  Matrix block(std::int32_t r0, std::int32_t c0, std::int32_t rows, std::int32_t cols) const;
+  /// Writes `b` into this matrix at (r0, c0).
+  void setBlock(std::int32_t r0, std::int32_t c0, const Matrix& b);
+
+  void swapRows(std::int32_t r1, std::int32_t r2);
+
+  /// Frobenius norm.
+  double normF() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+private:
+  std::int32_t rows_ = 0;
+  std::int32_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Deterministic pseudo-random test matrix: entry (i, j) depends only on
+/// (seed, i, j), so distributed owners can generate their blocks locally
+/// and a verifier can regenerate the full matrix (no broadcast needed).
+double testEntry(std::uint64_t seed, std::int32_t i, std::int32_t j, std::int32_t n);
+Matrix testMatrix(std::uint64_t seed, std::int32_t n);
+/// One n-row column-block panel (columns [c0, c0+width)) of the test matrix.
+Matrix testPanel(std::uint64_t seed, std::int32_t n, std::int32_t c0, std::int32_t width);
+
+} // namespace dps::lin

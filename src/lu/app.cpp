@@ -1,0 +1,63 @@
+#include "lu/app.hpp"
+
+#include "linalg/blocked_lu.hpp"
+#include "lu/objects.hpp"
+#include "support/error.hpp"
+
+namespace dps::lu {
+
+core::RunResult runLu(core::SimEngine& engine, const LuBuild& build) {
+  flow::Program prog;
+  prog.graph = build.graph.get();
+  const std::int32_t nodes = build.cfg.workers;
+  prog.deployment = flow::Deployment::roundRobin(*build.graph, {build.cfg.workers}, nodes);
+  prog.inputs = build.inputs;
+  return engine.run(prog);
+}
+
+double verifyLu(const LuConfig& cfg, const core::RunResult& result, flow::GroupId workers) {
+  const std::int32_t n = cfg.n;
+  const std::int32_t r = cfg.r;
+  lin::BlockLuResult factored;
+  factored.lu = lin::Matrix(n, n);
+  factored.pivots.resize(cfg.levels());
+
+  const auto& states = result.threadStates.at(workers);
+  std::int32_t columnsSeen = 0;
+  for (const auto& stPtr : states) {
+    const auto* st = dynamic_cast<const LuThreadState*>(stPtr.get());
+    DPS_CHECK(st != nullptr, "worker state is not LuThreadState");
+    for (const auto& [col, panel] : st->columns) {
+      DPS_CHECK(panel.rows() == n && panel.cols() == r, "bad column dimensions");
+      factored.lu.setBlock(0, col * r, panel);
+      ++columnsSeen;
+    }
+    for (const auto& [level, pivots] : st->pivotsByLevel) {
+      DPS_CHECK(factored.pivots.at(level).empty(), "duplicate pivots for a level");
+      factored.pivots[level] = pivots;
+    }
+  }
+  DPS_CHECK(columnsSeen == cfg.levels(), "not all columns were harvested");
+  for (const auto& p : factored.pivots)
+    DPS_CHECK(!p.empty(), "missing pivot history for a level");
+
+  const lin::Matrix original = lin::testMatrix(cfg.seed, n);
+  return lin::luResidual(original, factored, r);
+}
+
+void checkOutputs(const LuConfig& cfg, const core::RunResult& result) {
+  const std::int32_t expected = expectedOutputs(cfg);
+  DPS_CHECK(static_cast<std::int32_t>(result.outputs.size()) == expected,
+            "LU produced " + std::to_string(result.outputs.size()) + " outputs, expected " +
+                std::to_string(expected));
+  std::int32_t levelDone = 0;
+  std::int32_t factored = 0;
+  for (const auto& obj : result.outputs) {
+    if (dynamic_cast<const LevelDone*>(obj.get())) ++levelDone;
+    if (dynamic_cast<const Factored*>(obj.get())) ++factored;
+  }
+  DPS_CHECK(levelDone == cfg.levels() - 1, "wrong LevelDone count");
+  DPS_CHECK(factored == 1, "missing Factored output");
+}
+
+} // namespace dps::lu

@@ -1,0 +1,21 @@
+// High-level LU application runner: build -> run -> verify.
+#pragma once
+
+#include "core/engine.hpp"
+#include "lu/builder.hpp"
+
+namespace dps::lu {
+
+/// Assembles the Program for a build and runs it on the engine.
+core::RunResult runLu(core::SimEngine& engine, const LuBuild& build);
+
+/// Reassembles the factored matrix + pivot history from harvested thread
+/// states and returns the relative residual ‖P·A − L·U‖_F / ‖A‖_F against
+/// the original test matrix.  Only meaningful after a DirectExec run.
+double verifyLu(const LuConfig& cfg, const core::RunResult& result, flow::GroupId workers);
+
+/// Checks that the run produced the expected termination outputs
+/// ((levels-1) LevelDone + 1 Factored); throws on mismatch.
+void checkOutputs(const LuConfig& cfg, const core::RunResult& result);
+
+} // namespace dps::lu

@@ -1,0 +1,836 @@
+#include "lu/builder.hpp"
+
+#include <algorithm>
+
+#include "flow/ops.hpp"
+#include "flow/routing.hpp"
+#include "linalg/kernels.hpp"
+#include "lu/objects.hpp"
+#include "support/error.hpp"
+
+namespace dps::lu {
+
+namespace {
+
+/// Immutable context shared by every operation of one build.
+struct Env {
+  LuConfig cfg;
+  KernelCostModel model;
+  std::shared_ptr<ColumnDirectory> dir;
+  bool allocate = true;
+  std::shared_ptr<KernelSampler> sampler; // first-n-instances mode (§4)
+
+  bool sampled() const { return sampler != nullptr && allocate; }
+};
+using EnvPtr = std::shared_ptr<const Env>;
+
+LuThreadState& state(flow::OpContext& ctx) {
+  auto* st = dynamic_cast<LuThreadState*>(ctx.threadState());
+  DPS_CHECK(st != nullptr, "LU op running without LuThreadState");
+  return *st;
+}
+
+/// Builds a payload: real data under direct execution, freshly allocated
+/// zeros under PDEXEC-with-allocation, phantom under NOALLOC.  `extract`
+/// is only invoked when real data is needed.
+template <typename Fn>
+BlockPayload payloadFor(const Env& env, flow::OpContext& ctx, std::int32_t rows,
+                        std::int32_t cols, Fn&& extract) {
+  if (ctx.executeKernels()) return BlockPayload::fromMatrix(extract());
+  if (env.allocate) {
+    BlockPayload p;
+    p.rows = rows;
+    p.cols = cols;
+    p.data.assign(static_cast<std::size_t>(rows) * cols, 0.0);
+    return p;
+  }
+  return BlockPayload::phantomOf(rows, cols);
+}
+
+const std::size_t kDoubleBytes = sizeof(double);
+
+/// Typed routing by an object field.
+template <typename T>
+flow::RoutingFn routeByField(std::int32_t T::*field) {
+  return [field](const flow::RouteContext&, const serial::ObjectBase& obj) {
+    const auto* o = dynamic_cast<const T*>(&obj);
+    DPS_CHECK(o != nullptr, "routing saw unexpected object type");
+    return o->*field;
+  };
+}
+
+/// Routes to the current owner of the column returned by `col(obj)`.
+template <typename T>
+flow::RoutingFn routeToOwner(EnvPtr env, std::int32_t T::*colField) {
+  return [env, colField](const flow::RouteContext&, const serial::ObjectBase& obj) {
+    const auto* o = dynamic_cast<const T*>(&obj);
+    DPS_CHECK(o != nullptr, "routing saw unexpected object type");
+    return env->dir->owner(o->*colField);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+/// Factors the level's panel column in place and captures L11 + pivots.
+/// Shared by PanelSplitOp (level 0) and NextStreamOp (levels >= 1).
+struct PanelWork {
+  std::shared_ptr<lin::Matrix> l11; // real mode only
+  std::vector<std::int32_t> pivots;
+
+  void run(const Env& env, flow::OpContext& ctx, std::int32_t level) {
+    const std::int32_t n = env.cfg.n;
+    const std::int32_t r = env.cfg.r;
+    const std::int32_t off = level * r;
+    auto realPanel = [&] {
+      LuThreadState& st = state(ctx);
+      auto it = st.columns.find(level);
+      DPS_CHECK(it != st.columns.end(), "panel column " + std::to_string(level) +
+                                            " not on this thread (migration bug?)");
+      lin::Matrix& col = it->second;
+      lin::Matrix panel = col.block(off, 0, n - off, r);
+      DPS_CHECK(lin::panelLu(panel, pivots), "singular panel");
+      col.setBlock(off, 0, panel);
+      l11 = std::make_shared<lin::Matrix>(panel.block(0, 0, r, r));
+      st.pivotsByLevel[level] = pivots;
+    };
+    if (ctx.executeKernels()) {
+      realPanel();
+    } else if (env.sampled()) {
+      ctx.charge(env.sampler->charge(
+          KernelSampler::key(kPanelKernel, static_cast<std::uint64_t>(n - off)), realPanel));
+      if (pivots.empty()) pivots.assign(r, 0); // reused instance: no real run
+    } else {
+      ctx.charge(env.model.panel(n - off, r));
+      pivots.assign(r, 0);
+    }
+  }
+
+  BlockPayload l11Payload(const Env& env, flow::OpContext& ctx) const {
+    const std::int32_t r = env.cfg.r;
+    return payloadFor(env, ctx, r, r, [&] { return *l11; });
+  }
+};
+
+/// Entry split: factors panel 0 and emits the level-0 trsm requests.
+class PanelSplitOp final : public flow::QueueEmitter {
+public:
+  explicit PanelSplitOp(EnvPtr env) : env_(std::move(env)) {}
+
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto* start = dynamic_cast<const StartLu*>(&in);
+    DPS_CHECK(start != nullptr, "entry expects StartLu");
+    DPS_CHECK(start->n == env_->cfg.n && start->r == env_->cfg.r,
+              "StartLu does not match the built graph");
+    PanelWork panel;
+    panel.run(*env_, ctx, 0);
+    const std::int32_t r = env_->cfg.r;
+    const auto copyCost = env_->model.copy(static_cast<std::size_t>(r) * r * kDoubleBytes +
+                                           static_cast<std::size_t>(r) * 4);
+    for (std::int32_t j = 1; j < env_->cfg.levels(); ++j) {
+      auto req = std::make_shared<TrsmRequest>();
+      req->level = 0;
+      req->col = j;
+      req->pivots = panel.pivots;
+      auto* raw = req.get();
+      auto env = env_;
+      enqueue(req, 0, copyCost, [env, raw, panel](flow::OpContext& c) {
+        raw->l11 = panel.l11Payload(*env, c);
+      });
+    }
+  }
+
+private:
+  EnvPtr env_;
+};
+
+/// Paper op (b): row-flip own column for this level's pivots, solve the
+/// triangular system, store T12 in place and forward it.
+class TrsmOp final : public flow::Operation {
+public:
+  explicit TrsmOp(EnvPtr env) : env_(std::move(env)) {}
+
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& req = dynamic_cast<const TrsmRequest&>(in);
+    const std::int32_t r = env_->cfg.r;
+    const std::int32_t n = env_->cfg.n;
+    const std::int32_t off = req.level * r;
+
+    auto out = std::make_shared<T12Ready>();
+    out->level = req.level;
+    out->col = req.col;
+
+    auto realTrsm = [&] {
+      LuThreadState& st = state(ctx);
+      auto it = st.columns.find(req.col);
+      DPS_CHECK(it != st.columns.end(), "trsm: column not on this thread");
+      lin::Matrix& col = it->second;
+      // Row flips for the current panel's pivots (rows [off, n)).
+      lin::applyPivots(col, req.pivots, off);
+      // T12 = L11^{-1} * A12, solved in place in the column.
+      lin::Matrix a12 = col.block(off, 0, r, r);
+      const lin::Matrix l11 = req.l11.toMatrix();
+      lin::trsmLowerUnit(l11, a12);
+      col.setBlock(off, 0, a12);
+      return a12;
+    };
+    if (ctx.executeKernels()) {
+      out->t12 = BlockPayload::fromMatrix(realTrsm());
+    } else {
+      if (env_->sampled()) {
+        ctx.charge(env_->sampler->charge(
+            KernelSampler::key(kTrsmKernel, static_cast<std::uint64_t>(r)),
+            [&] { realTrsm(); }));
+      } else {
+        ctx.charge(env_->model.rowSwaps(r, static_cast<std::size_t>(r) * kDoubleBytes));
+        ctx.charge(env_->model.trsm(r, r));
+      }
+      ctx.charge(env_->model.copy(static_cast<std::size_t>(r) * r * kDoubleBytes));
+      out->t12 = payloadFor(*env_, ctx, r, r, [] { return lin::Matrix(); });
+    }
+    (void)n;
+    ctx.post(std::move(out));
+  }
+
+private:
+  EnvPtr env_;
+};
+
+/// Paper op (c): collects T12 blocks and streams out the multiplication
+/// requests, each carrying two r x r blocks (L21_i from local state and
+/// the received T12_j).  Basic variant buffers until the barrier.
+class MultStreamOp final : public flow::QueueEmitter {
+public:
+  MultStreamOp(EnvPtr env, std::int32_t level) : env_(std::move(env)), level_(level) {}
+
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& t = dynamic_cast<const T12Ready&>(in);
+    // One buffered copy of T12 shared by all m requests of this column.
+    auto t12 = std::make_shared<BlockPayload>(t.t12);
+    if (!ctx.executeKernels())
+      ctx.charge(env_->model.copy(t.t12.logicalBytes()));
+    if (env_->cfg.pipelined) {
+      enqueueColumn(ctx, t.col, std::move(t12));
+    } else {
+      buffered_.emplace_back(t.col, std::move(t12));
+    }
+  }
+
+  void onAllInputsDone(flow::OpContext& ctx) override {
+    for (auto& [col, t12] : buffered_) enqueueColumn(ctx, col, std::move(t12));
+    buffered_.clear();
+  }
+
+private:
+  void enqueueColumn(flow::OpContext& ctx, std::int32_t j,
+                     std::shared_ptr<BlockPayload> t12) {
+    (void)ctx;
+    const std::int32_t r = env_->cfg.r;
+    const auto copyCost = env_->model.copy(2 * static_cast<std::size_t>(r) * r * kDoubleBytes);
+    for (std::int32_t i = level_ + 1; i < env_->cfg.levels(); ++i) {
+      auto req = std::make_shared<MultRequest>();
+      req->level = level_;
+      req->i = i;
+      req->j = j;
+      auto* raw = req.get();
+      auto env = env_;
+      const std::int32_t level = level_;
+      enqueue(req, 0, copyCost, [env, raw, t12, level, i, r](flow::OpContext& c) {
+        raw->b = *t12;
+        raw->a = payloadFor(*env, c, r, r, [&] {
+          LuThreadState& st = state(c);
+          auto it = st.columns.find(level);
+          DPS_CHECK(it != st.columns.end(), "mult stream: L21 column not local");
+          return it->second.block(i * r, 0, r, r);
+        });
+      });
+    }
+  }
+
+  EnvPtr env_;
+  std::int32_t level_;
+  std::vector<std::pair<std::int32_t, std::shared_ptr<BlockPayload>>> buffered_;
+};
+
+/// Paper op (d): one block multiplication C = L21_i * T12_j.
+class MultOp final : public flow::Operation {
+public:
+  explicit MultOp(EnvPtr env) : env_(std::move(env)) {}
+
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& req = dynamic_cast<const MultRequest&>(in);
+    const std::int32_t r = env_->cfg.r;
+    auto out = std::make_shared<MultResult>();
+    out->level = req.level;
+    out->i = req.i;
+    out->j = req.j;
+    if (ctx.executeKernels()) {
+      out->c = BlockPayload::fromMatrix(lin::gemm(req.a.toMatrix(), req.b.toMatrix()));
+    } else {
+      if (env_->sampled()) {
+        ctx.charge(env_->sampler->charge(
+            KernelSampler::key(kGemmKernel, static_cast<std::uint64_t>(r)), [&] {
+              lin::Matrix c = lin::gemm(req.a.toMatrix(), req.b.toMatrix());
+              (void)c;
+            }));
+      } else {
+        ctx.charge(env_->model.gemm(r, r, r));
+      }
+      out->c = payloadFor(*env_, ctx, r, r, [] { return lin::Matrix(); });
+    }
+    ctx.post(std::move(out));
+  }
+
+private:
+  EnvPtr env_;
+};
+
+/// Paper op (e): subtract the product from the owner's column block.
+class SubOp final : public flow::Operation {
+public:
+  explicit SubOp(EnvPtr env) : env_(std::move(env)) {}
+
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& res = dynamic_cast<const MultResult&>(in);
+    const std::int32_t r = env_->cfg.r;
+    if (ctx.executeKernels()) {
+      LuThreadState& st = state(ctx);
+      auto it = st.columns.find(res.j);
+      DPS_CHECK(it != st.columns.end(), "subtract: column not on this thread");
+      lin::Matrix& col = it->second;
+      const lin::Matrix c = res.c.toMatrix();
+      const std::int32_t r0 = res.i * r;
+      for (std::int32_t k = 0; k < r; ++k) {
+        double* row = col.rowPtr(r0 + k);
+        const double* src = c.rowPtr(k);
+        for (std::int32_t q = 0; q < r; ++q) row[q] -= src[q];
+      }
+    } else {
+      // r^2 subtractions: charge at gemm throughput (memory bound anyway).
+      ctx.charge(seconds(static_cast<double>(r) * r / env_->model.gemmFlopsPerSec));
+    }
+    auto note = std::make_shared<SubNotify>();
+    note->level = res.level;
+    note->i = res.i;
+    note->j = res.j;
+    ctx.post(std::move(note));
+  }
+
+private:
+  EnvPtr env_;
+};
+
+/// Paper op (f): collects subtraction notifications; factors the next
+/// panel as soon as its column completes (pipelined) or at the barrier
+/// (basic); streams out next-level trsm requests (port 0), row flips for
+/// previous columns (port 1) and — at the last level — the final
+/// "factored" notification (port 2).
+class NextStreamOp final : public flow::QueueEmitter {
+public:
+  NextStreamOp(EnvPtr env, std::int32_t level) : env_(std::move(env)), level_(level) {}
+
+  static constexpr std::int32_t kTrsmPort = 0;
+  static constexpr std::int32_t kFlipPort = 1;
+  static constexpr std::int32_t kDonePort = 2;
+
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& note = dynamic_cast<const SubNotify&>(in);
+    const std::int32_t m = env_->cfg.levels() - 1 - level_;
+    const std::int32_t done = ++colCount_[note.j];
+    DPS_CHECK(done <= m, "too many subtraction notifications for a column");
+    if (!env_->cfg.pipelined) return;
+
+    if (note.j == level_ + 1 && done == m) {
+      panel_.run(*env_, ctx, level_ + 1);
+      panelDone_ = true;
+      for (std::int32_t j : deferredCols_) enqueueTrsm(ctx, j);
+      deferredCols_.clear();
+    } else if (done == m) {
+      if (panelDone_) enqueueTrsm(ctx, note.j);
+      else deferredCols_.push_back(note.j);
+    }
+  }
+
+  void onAllInputsDone(flow::OpContext& ctx) override {
+    // Iteration boundary: the level's trailing update is complete.  The
+    // marker fires *before* the next panel's compute segment, so malleable
+    // allocation changes take effect at exactly this instant.
+    ctx.marker("iteration", level_ + 1);
+    if (!env_->cfg.pipelined) {
+      panel_.run(*env_, ctx, level_ + 1);
+      panelDone_ = true;
+      for (std::int32_t j = level_ + 2; j < env_->cfg.levels(); ++j) enqueueTrsm(ctx, j);
+    }
+    DPS_CHECK(panelDone_, "stream finalized before its panel column completed");
+
+    // Row flips of the new panel's pivots onto previously factored columns
+    // (paper op (g) requests).
+    for (std::int32_t col = 0; col <= level_; ++col) {
+      auto flip = std::make_shared<FlipRequest>();
+      flip->level = level_ + 1;
+      flip->col = col;
+      flip->pivots = panel_.pivots;
+      enqueue(std::move(flip), kFlipPort);
+    }
+
+    if (level_ == env_->cfg.levels() - 2) {
+      auto done = std::make_shared<Factored>();
+      done->levels = env_->cfg.levels();
+      ctx.post(std::move(done), kDonePort);
+    }
+  }
+
+private:
+  void enqueueTrsm(flow::OpContext& ctx, std::int32_t j) {
+    (void)ctx;
+    const std::int32_t r = env_->cfg.r;
+    const auto copyCost = env_->model.copy(static_cast<std::size_t>(r) * r * kDoubleBytes +
+                                           static_cast<std::size_t>(r) * 4);
+    auto req = std::make_shared<TrsmRequest>();
+    req->level = level_ + 1;
+    req->col = j;
+    req->pivots = panel_.pivots;
+    auto* raw = req.get();
+    auto env = env_;
+    PanelWork panel = panel_;
+    enqueue(req, kTrsmPort, copyCost, [env, raw, panel](flow::OpContext& c) {
+      raw->l11 = panel.l11Payload(*env, c);
+    });
+  }
+
+  EnvPtr env_;
+  std::int32_t level_;
+  std::map<std::int32_t, std::int32_t> colCount_;
+  std::vector<std::int32_t> deferredCols_;
+  PanelWork panel_;
+  bool panelDone_ = false;
+};
+
+/// Paper op (g): apply row flips to a previously factored column.
+class FlipOp final : public flow::Operation {
+public:
+  explicit FlipOp(EnvPtr env) : env_(std::move(env)) {}
+
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& req = dynamic_cast<const FlipRequest&>(in);
+    const std::int32_t r = env_->cfg.r;
+    const std::int32_t off = req.level * r;
+    if (ctx.executeKernels()) {
+      LuThreadState& st = state(ctx);
+      auto it = st.columns.find(req.col);
+      DPS_CHECK(it != st.columns.end(), "flip: column not on this thread");
+      lin::applyPivots(it->second, req.pivots, off);
+    } else {
+      ctx.charge(env_->model.rowSwaps(r, static_cast<std::size_t>(r) * kDoubleBytes));
+    }
+    auto note = std::make_shared<FlipNotify>();
+    note->level = req.level;
+    note->col = req.col;
+    ctx.post(std::move(note));
+  }
+
+private:
+  EnvPtr env_;
+};
+
+/// Paper op (h): collect row-exchange notifications per level; each
+/// completed level posts a LevelDone program output.
+class TermMergeOp final : public flow::Operation {
+public:
+  void onInput(flow::OpContext&, const serial::ObjectBase& in) override {
+    level_ = dynamic_cast<const FlipNotify&>(in).level;
+  }
+  void onAllInputsDone(flow::OpContext& ctx) override {
+    auto done = std::make_shared<LevelDone>();
+    done->level = level_;
+    ctx.post(std::move(done));
+  }
+
+private:
+  std::int32_t level_ = -1;
+};
+
+// --- PM: parallel sub-block multiplication (paper Fig. 7) ---
+
+/// Fig. 7 (a): store the first matrix locally, distribute column strips of
+/// the second matrix.
+class PmSplitOp final : public flow::QueueEmitter {
+public:
+  explicit PmSplitOp(EnvPtr env) : env_(std::move(env)) {}
+
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& req = dynamic_cast<const MultRequest&>(in);
+    const std::int32_t r = env_->cfg.r;
+    const std::int32_t s = env_->cfg.effSubBlock();
+    const std::int32_t q = r / s;
+    const std::int32_t home = ctx.threadIndex();
+
+    // Store A for the collect stage (same thread).
+    LuThreadState& st = state(ctx);
+    const PmKey aKey{req.level, req.i, req.j, -1};
+    if (ctx.executeKernels()) {
+      st.pmStrips[aKey] = req.a.toMatrix();
+    } else {
+      if (env_->allocate) st.pmStrips[aKey] = lin::Matrix(r, r);
+      else st.pmPhantom.insert(aKey);
+      ctx.charge(env_->model.copy(req.a.logicalBytes()));
+    }
+
+    // Distribute B column strips.
+    auto b = std::make_shared<BlockPayload>(req.b);
+    const auto copyCost = env_->model.copy(static_cast<std::size_t>(r) * s * kDoubleBytes);
+    for (std::int32_t strip = 0; strip < q; ++strip) {
+      auto obj = std::make_shared<PmStrip>();
+      obj->level = req.level;
+      obj->i = req.i;
+      obj->j = req.j;
+      obj->strip = strip;
+      obj->home = home;
+      auto* raw = obj.get();
+      auto env = env_;
+      enqueue(obj, 0, copyCost, [env, raw, b, strip, r, s](flow::OpContext& c) {
+        raw->b = payloadFor(*env, c, r, s, [&] {
+          lin::Matrix bm = b->toMatrix();
+          return bm.block(0, strip * s, r, s);
+        });
+      });
+    }
+  }
+
+private:
+  EnvPtr env_;
+};
+
+/// Fig. 7 (b): store one strip and acknowledge.
+class PmStoreOp final : public flow::Operation {
+public:
+  explicit PmStoreOp(EnvPtr env) : env_(std::move(env)) {}
+
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& strip = dynamic_cast<const PmStrip&>(in);
+    LuThreadState& st = state(ctx);
+    const PmKey key{strip.level, strip.i, strip.j, strip.strip};
+    if (ctx.executeKernels()) {
+      st.pmStrips[key] = strip.b.toMatrix();
+    } else {
+      if (env_->allocate) st.pmStrips[key] = lin::Matrix(strip.b.rows, strip.b.cols);
+      else st.pmPhantom.insert(key);
+      ctx.charge(env_->model.copy(strip.b.logicalBytes()));
+    }
+    auto ack = std::make_shared<PmStripStored>();
+    ack->level = strip.level;
+    ack->i = strip.i;
+    ack->j = strip.j;
+    ack->strip = strip.strip;
+    ack->storedAt = ctx.threadIndex();
+    ack->home = strip.home;
+    ctx.post(std::move(ack));
+  }
+
+private:
+  EnvPtr env_;
+};
+
+/// Fig. 7 (c)/(d): collect storage acks, then send each line block of the
+/// first matrix to every thread storing strips.
+class PmCollectOp final : public flow::QueueEmitter {
+public:
+  explicit PmCollectOp(EnvPtr env) : env_(std::move(env)) {}
+
+  void onInput(flow::OpContext&, const serial::ObjectBase& in) override {
+    const auto& ack = dynamic_cast<const PmStripStored&>(in);
+    byThread_[ack.storedAt].push_back(ack.strip);
+    level_ = ack.level;
+    i_ = ack.i;
+    j_ = ack.j;
+    home_ = ack.home;
+  }
+
+  void onAllInputsDone(flow::OpContext& ctx) override {
+    const std::int32_t r = env_->cfg.r;
+    const std::int32_t s = env_->cfg.effSubBlock();
+    const std::int32_t q = r / s;
+
+    // Grab A once; emissions copy line strips out of it.
+    LuThreadState& st = state(ctx);
+    const PmKey aKey{level_, i_, j_, -1};
+    std::shared_ptr<lin::Matrix> a;
+    if (ctx.executeKernels()) {
+      auto it = st.pmStrips.find(aKey);
+      DPS_CHECK(it != st.pmStrips.end(), "PM collect: A block missing");
+      a = std::make_shared<lin::Matrix>(std::move(it->second));
+      st.pmStrips.erase(it);
+    } else {
+      st.pmStrips.erase(aKey);
+      st.pmPhantom.erase(aKey);
+    }
+
+    const auto copyCost = env_->model.copy(static_cast<std::size_t>(s) * r * kDoubleBytes);
+    for (std::int32_t rowStrip = 0; rowStrip < q; ++rowStrip) {
+      for (const auto& [target, strips] : byThread_) {
+        auto work = std::make_shared<PmLineWork>();
+        work->level = level_;
+        work->i = i_;
+        work->j = j_;
+        work->rowStrip = rowStrip;
+        work->target = target;
+        work->home = home_;
+        work->lastRowStrip = rowStrip == q - 1 ? 1 : 0;
+        work->strips = strips;
+        auto* raw = work.get();
+        auto env = env_;
+        enqueue(work, 0, copyCost, [env, raw, a, rowStrip, s, r](flow::OpContext& c) {
+          raw->a = payloadFor(*env, c, s, r, [&] { return a->block(rowStrip * s, 0, s, r); });
+        });
+      }
+    }
+  }
+
+private:
+  EnvPtr env_;
+  std::map<std::int32_t, std::vector<std::int32_t>> byThread_;
+  std::int32_t level_ = 0, i_ = 0, j_ = 0, home_ = 0;
+};
+
+/// Fig. 7 (e): multiply a line block with every locally stored column strip.
+class PmMulOp final : public flow::Operation {
+public:
+  explicit PmMulOp(EnvPtr env) : env_(std::move(env)) {}
+
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& work = dynamic_cast<const PmLineWork&>(in);
+    const std::int32_t s = env_->cfg.effSubBlock();
+    const std::int32_t r = env_->cfg.r;
+    LuThreadState& st = state(ctx);
+
+    auto tiles = std::make_shared<PmTiles>();
+    tiles->level = work.level;
+    tiles->i = work.i;
+    tiles->j = work.j;
+    tiles->rowStrip = work.rowStrip;
+    tiles->strips = work.strips;
+
+    const auto nStrips = static_cast<std::int32_t>(work.strips.size());
+    if (ctx.executeKernels()) {
+      const lin::Matrix a = work.a.toMatrix();
+      lin::Matrix out(s, s * nStrips);
+      for (std::int32_t k = 0; k < nStrips; ++k) {
+        const PmKey key{work.level, work.i, work.j, work.strips[k]};
+        auto it = st.pmStrips.find(key);
+        DPS_CHECK(it != st.pmStrips.end(), "PM mul: strip missing");
+        out.setBlock(0, k * s, lin::gemm(a, it->second));
+        if (work.lastRowStrip) st.pmStrips.erase(it);
+      }
+      tiles->tiles = BlockPayload::fromMatrix(out);
+    } else {
+      for (std::int32_t k = 0; k < nStrips; ++k) {
+        ctx.charge(env_->model.gemm(s, s, r));
+        if (work.lastRowStrip) {
+          const PmKey key{work.level, work.i, work.j, work.strips[k]};
+          st.pmStrips.erase(key);
+          st.pmPhantom.erase(key);
+        }
+      }
+      tiles->tiles = payloadFor(*env_, ctx, s, s * nStrips, [] { return lin::Matrix(); });
+    }
+    ctx.post(std::move(tiles));
+  }
+
+private:
+  EnvPtr env_;
+};
+
+/// Fig. 7 (f): assemble the r x r product and forward it to the subtract.
+class PmAssembleOp final : public flow::Operation {
+public:
+  explicit PmAssembleOp(EnvPtr env) : env_(std::move(env)) {}
+
+  void onInput(flow::OpContext& ctx, const serial::ObjectBase& in) override {
+    const auto& t = dynamic_cast<const PmTiles&>(in);
+    const std::int32_t s = env_->cfg.effSubBlock();
+    level_ = t.level;
+    i_ = t.i;
+    j_ = t.j;
+    if (ctx.executeKernels()) {
+      if (c_.empty()) c_ = lin::Matrix(env_->cfg.r, env_->cfg.r);
+      const lin::Matrix tiles = t.tiles.toMatrix();
+      for (std::size_t k = 0; k < t.strips.size(); ++k) {
+        c_.setBlock(t.rowStrip * s, t.strips[k] * s,
+                    tiles.block(0, static_cast<std::int32_t>(k) * s, s, s));
+      }
+    } else {
+      ctx.charge(env_->model.copy(t.tiles.logicalBytes()));
+    }
+  }
+
+  void onAllInputsDone(flow::OpContext& ctx) override {
+    auto res = std::make_shared<MultResult>();
+    res->level = level_;
+    res->i = i_;
+    res->j = j_;
+    if (ctx.executeKernels()) {
+      res->c = BlockPayload::fromMatrix(std::move(c_));
+    } else {
+      res->c = payloadFor(*env_, ctx, env_->cfg.r, env_->cfg.r, [] { return lin::Matrix(); });
+    }
+    ctx.post(std::move(res));
+  }
+
+private:
+  EnvPtr env_;
+  lin::Matrix c_;
+  std::int32_t level_ = 0, i_ = 0, j_ = 0;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Config + graph assembly
+// ---------------------------------------------------------------------------
+
+void LuConfig::validate() const {
+  if (n <= 0 || r <= 0) throw ConfigError("LU: dimensions must be positive");
+  if (n % r != 0) throw ConfigError("LU: block size must divide n");
+  if (levels() < 2) throw ConfigError("LU: need at least two column blocks");
+  if (workers <= 0) throw ConfigError("LU: need at least one worker");
+  if (parallelMult) {
+    const std::int32_t s = effSubBlock();
+    if (s <= 0 || r % s != 0) throw ConfigError("LU: sub-block must divide r");
+    if (r / s < 2) throw ConfigError("LU: PM needs at least two sub-strips");
+  }
+  if (flowControl && fcLimit <= 0) throw ConfigError("LU: flow-control limit must be positive");
+}
+
+std::string LuConfig::variantName() const {
+  std::string v;
+  if (pipelined) v += v.empty() ? "P" : "+P";
+  if (parallelMult) v += v.empty() ? "PM" : "+PM";
+  if (flowControl) v += v.empty() ? "FC" : "+FC";
+  if (v.empty()) v = "Basic";
+  return v;
+}
+
+std::int32_t expectedOutputs(const LuConfig& cfg) {
+  return cfg.levels(); // (levels - 1) LevelDone + 1 Factored
+}
+
+LuBuild buildLu(const LuConfig& cfg, const KernelCostModel& model, bool allocate,
+                std::shared_ptr<KernelSampler> sampler) {
+  cfg.validate();
+  if (sampler) DPS_CHECK(allocate, "first-n-instances sampling requires allocation");
+  const std::int32_t L = cfg.levels();
+
+  LuBuild build;
+  build.cfg = cfg;
+  build.directory = std::make_shared<ColumnDirectory>(L, cfg.workers);
+  auto env =
+      std::make_shared<Env>(Env{cfg, model, build.directory, allocate, std::move(sampler)});
+
+  build.graph = std::make_unique<flow::FlowGraph>();
+  flow::FlowGraph& g = *build.graph;
+
+  // Worker threads own the column blocks; state is pre-distributed (the
+  // paper measures the factorization, not the initial distribution).
+  const flow::GroupId workers = g.addGroup("workers", [env](std::int32_t threadIdx) {
+    auto st = std::make_unique<LuThreadState>();
+    for (std::int32_t col : env->dir->columnsOf(threadIdx)) {
+      if (env->allocate) {
+        st->columns.emplace(col, lin::testPanel(env->cfg.seed, env->cfg.n,
+                                                col * env->cfg.r, env->cfg.r));
+      } else {
+        st->phantomColumns.insert(col);
+      }
+    }
+    return st;
+  });
+  build.workersGroup = workers;
+
+  using flow::makeOp;
+
+  const flow::OpId entry =
+      g.addSplit("panel0", workers, makeOp<PanelSplitOp>(env));
+  g.setEntry(entry, build.directory->owner(0));
+
+  const flow::OpId termMerge = g.addMerge("term", workers, makeOp<TermMergeOp>());
+  g.connectOutput(termMerge, 0);
+
+  flow::OpId prevTrsmSource = entry; // emits TrsmRequests for level l on port 0
+
+  for (std::int32_t l = 0; l + 1 < L; ++l) {
+    const std::string suffix = "_" + std::to_string(l);
+    const flow::OpId trsm = g.addLeaf("trsm" + suffix, workers, makeOp<TrsmOp>(env));
+    const flow::OpId multStream =
+        g.addStream("multStream" + suffix, workers, makeOp<MultStreamOp>(env, l));
+    const flow::OpId sub = g.addLeaf("sub" + suffix, workers, makeOp<SubOp>(env));
+    const flow::OpId nextStream =
+        g.addStream("nextStream" + suffix, workers, makeOp<NextStreamOp>(env, l));
+
+    // Panel source (entry split or previous nextStream) -> trsm.
+    g.connect(prevTrsmSource, 0, trsm, routeToOwner<TrsmRequest>(env, &TrsmRequest::col));
+    g.pair(prevTrsmSource, 0, multStream);
+
+    // trsm -> multStream at the level's panel-column owner (where the L21
+    // blocks live, paper §5).
+    g.connect(trsm, 0, multStream,
+              [env, l](const flow::RouteContext&, const serial::ObjectBase&) {
+                return env->dir->owner(l);
+              });
+
+    if (cfg.parallelMult) {
+      const flow::OpId pmSplit =
+          g.addSplit("pmSplit" + suffix, workers, makeOp<PmSplitOp>(env));
+      const flow::OpId pmStore = g.addLeaf("pmStore" + suffix, workers, makeOp<PmStoreOp>(env));
+      const flow::OpId pmCollect =
+          g.addStream("pmCollect" + suffix, workers, makeOp<PmCollectOp>(env));
+      const flow::OpId pmMul = g.addLeaf("pmMul" + suffix, workers, makeOp<PmMulOp>(env));
+      const flow::OpId pmAssemble =
+          g.addMerge("pmAssemble" + suffix, workers, makeOp<PmAssembleOp>(env));
+
+      g.connect(multStream, 0, pmSplit, flow::roundRobinActive());
+      g.connect(pmSplit, 0, pmStore, flow::roundRobinActive());
+      g.pair(pmSplit, 0, pmCollect);
+      g.connect(pmStore, 0, pmCollect, routeByField<PmStripStored>(&PmStripStored::home));
+      g.connect(pmCollect, 0, pmMul, routeByField<PmLineWork>(&PmLineWork::target));
+      g.pair(pmCollect, 0, pmAssemble);
+      g.connect(pmMul, 0, pmAssemble, routeToOwner<PmTiles>(env, &PmTiles::j));
+      g.connect(pmAssemble, 0, sub, routeToOwner<MultResult>(env, &MultResult::j));
+    } else {
+      const flow::OpId mult = g.addLeaf("mult" + suffix, workers, makeOp<MultOp>(env));
+      g.connect(multStream, 0, mult, flow::roundRobinActive());
+      g.connect(mult, 0, sub, routeToOwner<MultResult>(env, &MultResult::j));
+    }
+    g.pair(multStream, 0, nextStream);
+    if (cfg.flowControl)
+      g.setFlowControl(multStream, 0, flow::FlowControlSpec{cfg.fcLimit});
+
+    // sub -> nextStream at the *next* panel owner's thread.
+    const std::int32_t nextCol = l + 1;
+    g.connect(sub, 0, nextStream,
+              [env, nextCol](const flow::RouteContext&, const serial::ObjectBase&) {
+                return env->dir->owner(nextCol);
+              });
+
+    // Row flips for previous columns.
+    const flow::OpId flip = g.addLeaf("flip" + suffix, workers, makeOp<FlipOp>(env));
+    g.connect(nextStream, NextStreamOp::kFlipPort, flip,
+              routeToOwner<FlipRequest>(env, &FlipRequest::col));
+    g.pair(nextStream, NextStreamOp::kFlipPort, termMerge);
+    g.connect(flip, 0, termMerge, flow::routeTo(0));
+
+    if (l + 2 < L) {
+      prevTrsmSource = nextStream; // its port 0 feeds the next level's trsm
+    } else {
+      g.connectOutput(nextStream, NextStreamOp::kDonePort);
+    }
+  }
+
+  auto start = std::make_shared<StartLu>();
+  start->n = cfg.n;
+  start->r = cfg.r;
+  start->seed = cfg.seed;
+  build.inputs.push_back(std::move(start));
+  return build;
+}
+
+} // namespace dps::lu

@@ -1,0 +1,64 @@
+// Flow-graph construction for the block LU application (paper §5–§6).
+//
+// Four graph variants, freely combinable exactly as in the paper:
+//   * Basic      — the streams act as merge-split barriers (no pipelining);
+//   * P          — pipelined: streams emit eagerly as groups complete;
+//   * FC         — flow control on the multiplication-request stream;
+//   * PM         — block multiplications further parallelized over sub
+//                  blocks (paper Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "flow/graph.hpp"
+#include "lu/cost_model.hpp"
+#include "lu/sampler.hpp"
+#include "lu/state.hpp"
+
+namespace dps::lu {
+
+struct LuConfig {
+  std::int32_t n = 648;    // matrix dimension
+  std::int32_t r = 162;    // decomposition block size (must divide n)
+  std::uint64_t seed = 7;  // test-matrix seed
+
+  bool pipelined = false;    // P
+  bool flowControl = false;  // FC (only meaningful with streams emitting)
+  std::int32_t fcLimit = 8;  // max in-flight multiplication requests/instance
+  bool parallelMult = false; // PM
+  std::int32_t subBlock = 0; // PM sub-block size s; 0 => r/2
+
+  std::int32_t workers = 4; // worker DPS threads (column owners)
+
+  std::int32_t levels() const { return n / r; }
+  std::int32_t effSubBlock() const { return subBlock > 0 ? subBlock : r / 2; }
+  void validate() const;
+  /// Short tag like "P+FC r=216" for experiment tables.
+  std::string variantName() const;
+};
+
+/// Everything an engine needs to run the application.
+struct LuBuild {
+  std::unique_ptr<flow::FlowGraph> graph;
+  std::shared_ptr<ColumnDirectory> directory;
+  flow::GroupId workersGroup = -1;
+  LuConfig cfg;
+  /// Input objects for the Program.
+  std::vector<serial::ObjectPtr> inputs;
+};
+
+/// Builds the graph.  `allocate` = false produces the NOALLOC variant
+/// (phantom payloads, no column storage; kernels must not execute).
+/// With a `sampler` (PDEXEC + allocation), the first n instances of each
+/// kernel shape execute and are measured; later instances charge the
+/// average — the paper's first-n-instances calibration (§4).
+LuBuild buildLu(const LuConfig& cfg, const KernelCostModel& model, bool allocate = true,
+                std::shared_ptr<KernelSampler> sampler = nullptr);
+
+/// Expected number of program outputs: one LevelDone per level with flips
+/// plus the final Factored notification.
+std::int32_t expectedOutputs(const LuConfig& cfg);
+
+} // namespace dps::lu

@@ -1,0 +1,107 @@
+#include "lu/cost_model.hpp"
+
+#include <chrono>
+
+#include "linalg/kernels.hpp"
+#include "linalg/matrix.hpp"
+#include "support/error.hpp"
+
+namespace dps::lu {
+
+namespace {
+SimDuration flopsTime(double flops, double rate, SimDuration overhead) {
+  DPS_CHECK(rate > 0, "non-positive kernel throughput");
+  return overhead + seconds(flops / rate);
+}
+} // namespace
+
+SimDuration KernelCostModel::gemm(std::int32_t m, std::int32_t n, std::int32_t k) const {
+  return flopsTime(lin::gemmFlops(m, n, k), gemmFlopsPerSec, perKernelOverhead);
+}
+
+SimDuration KernelCostModel::trsm(std::int32_t k, std::int32_t n) const {
+  return flopsTime(lin::trsmFlops(k, n), trsmFlopsPerSec, perKernelOverhead);
+}
+
+SimDuration KernelCostModel::panel(std::int32_t m, std::int32_t k) const {
+  return flopsTime(lin::panelLuFlops(m, k), panelFlopsPerSec, perKernelOverhead);
+}
+
+SimDuration KernelCostModel::copy(std::size_t bytes) const {
+  return seconds(static_cast<double>(bytes) / copyBytesPerSec);
+}
+
+SimDuration KernelCostModel::rowSwaps(std::int32_t swaps, std::size_t rowBytes) const {
+  return seconds(static_cast<double>(swaps) * 2.0 * static_cast<double>(rowBytes) /
+                 swapBytesPerSec);
+}
+
+KernelCostModel KernelCostModel::scaled(double f) const {
+  DPS_CHECK(f > 0, "scale factor must be positive");
+  KernelCostModel m = *this;
+  m.gemmFlopsPerSec *= f;
+  m.trsmFlopsPerSec *= f;
+  m.panelFlopsPerSec *= f;
+  m.copyBytesPerSec *= f;
+  m.swapBytesPerSec *= f;
+  m.perKernelOverhead = scale(m.perKernelOverhead, 1.0 / f);
+  return m;
+}
+
+KernelCostModel KernelCostModel::ultraSparc440() {
+  KernelCostModel m;
+  // 2/3 * 2592^3 = 1.16e10 flops at ~63 MFlop/s ~= 184 s serial — matches
+  // the paper's 185.1 s single-node reference (Table 1).
+  m.gemmFlopsPerSec = 66e6;
+  m.trsmFlopsPerSec = 58e6;
+  m.panelFlopsPerSec = 48e6;
+  m.copyBytesPerSec = 150e6;
+  m.swapBytesPerSec = 110e6;
+  m.perKernelOverhead = microseconds(30);
+  return m;
+}
+
+KernelCostModel KernelCostModel::calibrateHost(std::int32_t probeSize) {
+  using clock = std::chrono::steady_clock;
+  const std::int32_t p = probeSize;
+  lin::Matrix a = lin::testMatrix(11, p);
+  lin::Matrix b = lin::testMatrix(13, p);
+  lin::Matrix c(p, p);
+
+  auto timeIt = [](auto&& fn) {
+    const auto t0 = clock::now();
+    fn();
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+
+  KernelCostModel m;
+
+  // gemm probe (run twice, keep the second to skip cold caches).
+  timeIt([&] { lin::gemmSubtract(a, b, c); });
+  const double tg = timeIt([&] { lin::gemmSubtract(a, b, c); });
+  m.gemmFlopsPerSec = lin::gemmFlops(p, p, p) / tg;
+
+  // trsm probe.
+  lin::Matrix rhs = b;
+  const double tt = timeIt([&] { lin::trsmLowerUnit(a, rhs); });
+  m.trsmFlopsPerSec = lin::trsmFlops(p, p) / tt;
+
+  // panel probe (2p x p tall panel).
+  lin::Matrix panel = lin::testPanel(17, 2 * p, 0, p);
+  std::vector<std::int32_t> piv;
+  const double tp = timeIt([&] { lin::panelLu(panel, piv); });
+  m.panelFlopsPerSec = lin::panelLuFlops(2 * p, p) / tp;
+
+  // copy probe.
+  std::vector<double> src(static_cast<std::size_t>(p) * p, 1.0);
+  std::vector<double> dst(src.size());
+  const double tc = timeIt([&] {
+    for (int rep = 0; rep < 8; ++rep) dst = src;
+  });
+  m.copyBytesPerSec = 8.0 * static_cast<double>(src.size() * sizeof(double)) / tc;
+  m.swapBytesPerSec = m.copyBytesPerSec / 2.0;
+  m.perKernelOverhead = microseconds(2);
+  return m;
+}
+
+} // namespace dps::lu

@@ -1,0 +1,46 @@
+// Kernel cost model for partial direct execution (paper §4/§7).
+//
+// PDEXEC replaces kernel invocations with "benchmarked times"; this model
+// provides them, either from platform presets (the paper's UltraSparc II)
+// or calibrated on the simulation host by measuring the real kernels — the
+// paper's "measure the running times of the first n instances" approach,
+// performed once up front.
+#pragma once
+
+#include <cstdint>
+
+#include "support/time.hpp"
+
+namespace dps::lu {
+
+struct KernelCostModel {
+  double gemmFlopsPerSec = 60e6;
+  double trsmFlopsPerSec = 55e6;
+  double panelFlopsPerSec = 45e6;
+  /// Payload assembly / serialization copies.
+  double copyBytesPerSec = 180e6;
+  /// Row swapping throughput (two rows touched per swap).
+  double swapBytesPerSec = 120e6;
+  /// Fixed dispatch cost charged per kernel invocation.
+  SimDuration perKernelOverhead = microseconds(20);
+
+  SimDuration gemm(std::int32_t m, std::int32_t n, std::int32_t k) const;
+  SimDuration trsm(std::int32_t k, std::int32_t n) const;
+  SimDuration panel(std::int32_t m, std::int32_t k) const;
+  SimDuration copy(std::size_t bytes) const;
+  /// Cost of `swaps` row exchanges across `rowBytes`-wide rows.
+  SimDuration rowSwaps(std::int32_t swaps, std::size_t rowBytes) const;
+
+  /// Scales all throughputs by `f` (>1 = faster platform).
+  KernelCostModel scaled(double f) const;
+
+  /// The paper's measurement platform (440 MHz UltraSparc II): tuned so the
+  /// serial 2592x2592 LU takes ~185 s (Table 1's serial reference).
+  static KernelCostModel ultraSparc440();
+
+  /// Measures the real kernels on the current host with short probes and
+  /// fits the throughput parameters; `probeSize` controls probe dimensions.
+  static KernelCostModel calibrateHost(std::int32_t probeSize = 192);
+};
+
+} // namespace dps::lu

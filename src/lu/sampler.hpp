@@ -1,0 +1,83 @@
+// First-n-instances kernel sampling (paper §4): "For parallel programs
+// that perform the same operations repeatedly, we may measure the running
+// times of the first n instances of an operation, and reuse the averaged
+// measure for the remaining instances."
+//
+// Used by the LU application in PDEXEC mode with allocation enabled: the
+// first `samplesPerKey` invocations of each kernel shape really execute
+// (and are timed on the wall clock); every later invocation charges the
+// running average instead.  This makes predictions host-accurate without
+// paying the full direct-execution cost — the paper's hybrid between
+// direct execution and modeling.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+
+#include "support/time.hpp"
+
+namespace dps::lu {
+
+class KernelSampler {
+public:
+  explicit KernelSampler(int samplesPerKey = 3) : samplesPerKey_(samplesPerKey) {}
+
+  /// Runs `realWork` and measures it while fewer than samplesPerKey
+  /// instances of `key` have been seen; afterwards skips the work and
+  /// returns the average of the measured instances.
+  template <typename Fn>
+  SimDuration charge(std::uint64_t key, Fn&& realWork) {
+    Stat& s = stats_[key];
+    if (s.count < samplesPerKey_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      realWork();
+      const double sec = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      ++s.count;
+      s.totalSec += sec;
+      return seconds(sec);
+    }
+    ++s.reused;
+    return seconds(s.totalSec / s.count);
+  }
+
+  /// Kernel-shape key: kind tag + dominant dimension.
+  static std::uint64_t key(std::uint32_t kind, std::uint64_t dim) {
+    return (static_cast<std::uint64_t>(kind) << 48) ^ dim;
+  }
+
+  std::uint64_t sampledCount() const {
+    std::uint64_t n = 0;
+    for (const auto& [k, s] : stats_) {
+      (void)k;
+      n += static_cast<std::uint64_t>(s.count);
+    }
+    return n;
+  }
+  std::uint64_t reusedCount() const {
+    std::uint64_t n = 0;
+    for (const auto& [k, s] : stats_) {
+      (void)k;
+      n += s.reused;
+    }
+    return n;
+  }
+
+private:
+  struct Stat {
+    int count = 0;
+    double totalSec = 0;
+    std::uint64_t reused = 0;
+  };
+  int samplesPerKey_;
+  std::map<std::uint64_t, Stat> stats_;
+};
+
+/// Kernel kind tags for sampler keys.
+enum SampledKernel : std::uint32_t {
+  kPanelKernel = 1,
+  kTrsmKernel = 2,
+  kGemmKernel = 3,
+};
+
+} // namespace dps::lu

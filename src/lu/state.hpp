@@ -1,0 +1,69 @@
+// Per-thread application state and the shared column directory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "flow/operation.hpp"
+#include "linalg/matrix.hpp"
+#include "support/error.hpp"
+
+namespace dps::lu {
+
+/// Maps column blocks to owning worker threads.  Shared by routing
+/// functions and operations; mutated only at iteration boundaries when the
+/// malleability controller migrates columns off deallocated threads.
+class ColumnDirectory {
+public:
+  ColumnDirectory(std::int32_t columns, std::int32_t threads) {
+    DPS_CHECK(columns > 0 && threads > 0, "bad directory dimensions");
+    owners_.resize(columns);
+    for (std::int32_t c = 0; c < columns; ++c) owners_[c] = c % threads;
+  }
+
+  std::int32_t columns() const { return static_cast<std::int32_t>(owners_.size()); }
+  std::int32_t owner(std::int32_t col) const { return owners_.at(col); }
+  void setOwner(std::int32_t col, std::int32_t thread) { owners_.at(col) = thread; }
+
+  std::vector<std::int32_t> columnsOf(std::int32_t thread) const {
+    std::vector<std::int32_t> out;
+    for (std::int32_t c = 0; c < columns(); ++c)
+      if (owners_[c] == thread) out.push_back(c);
+    return out;
+  }
+
+private:
+  std::vector<std::int32_t> owners_;
+};
+
+/// Key for PM strip storage: (level, i, j, strip).
+struct PmKey {
+  std::int32_t level = 0, i = 0, j = 0, strip = 0;
+  friend auto operator<=>(const PmKey&, const PmKey&) = default;
+};
+
+/// Worker-thread state: the column blocks this thread owns (full n x r
+/// panels), plus PM strip storage.  In NOALLOC mode columns are tracked by
+/// id only — no element storage exists.
+struct LuThreadState final : flow::ThreadState {
+  /// col -> n x r panel.  Present only when allocation is enabled.
+  std::map<std::int32_t, lin::Matrix> columns;
+  /// Columns owned in NOALLOC mode (ids only).
+  std::set<std::int32_t> phantomColumns;
+  /// PM: stored column strips of B (real mode).
+  std::map<PmKey, lin::Matrix> pmStrips;
+  /// PM: stored strip ids (NOALLOC mode).
+  std::set<PmKey> pmPhantom;
+  /// Pivot history of panels factored on this thread (level -> pivots);
+  /// harvested after a run to verify the factorization.
+  std::map<std::int32_t, std::vector<std::int32_t>> pivotsByLevel;
+
+  bool ownsColumn(std::int32_t col) const {
+    return columns.count(col) > 0 || phantomColumns.count(col) > 0;
+  }
+};
+
+} // namespace dps::lu

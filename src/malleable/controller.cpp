@@ -1,0 +1,180 @@
+#include "malleable/controller.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "lu/state.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace dps::mall {
+
+std::string AllocationPlan::describe() const {
+  if (steps.empty()) return "static";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i) os << " + ";
+    os << "kill " << steps[i].threads.size() << " after it. " << steps[i].afterIteration;
+  }
+  return os.str();
+}
+
+LuMalleabilityController::LuMalleabilityController(core::SimEngine& engine, lu::LuBuild& build,
+                                                   AllocationPlan plan, RemovalPolicy policy)
+    : engine_(engine), build_(build), plan_(std::move(plan)), policy_(policy) {
+  engine_.setMarkerHook([this](const std::string& name, std::int64_t value, SimTime when) {
+    onMarker(name, value, when);
+  });
+}
+
+LuMalleabilityController::LuMalleabilityController(core::SimEngine& engine, lu::LuBuild& build,
+                                                   EfficiencyPolicy policy)
+    : engine_(engine),
+      build_(build),
+      policy_(RemovalPolicy::MigrateColumns),
+      efficiencyPolicy_(policy) {
+  engine_.setMarkerHook([this](const std::string& name, std::int64_t value, SimTime when) {
+    onMarker(name, value, when);
+  });
+}
+
+void LuMalleabilityController::evaluateEfficiency(std::int64_t iteration, SimTime when) {
+  const trace::Trace* trace = engine_.liveTrace();
+  DPS_CHECK(trace != nullptr, "efficiency policy requires trace recording");
+  if (when <= lastMarker_) return;
+  const double nodeSeconds = trace->nodeSecondsIn(lastMarker_, when);
+  const double eff =
+      nodeSeconds > 0 ? toSeconds(trace->workIn(lastMarker_, when)) / nodeSeconds : 0.0;
+  observedEff_.push_back(eff);
+  lastMarker_ = when;
+
+  const EfficiencyPolicy& p = *efficiencyPolicy_;
+  if (eff >= p.threshold) return;
+  // Release a fraction of the still-active workers, highest indices first
+  // (never the entry thread, never below minWorkers).
+  std::vector<std::int32_t> active;
+  for (std::int32_t t = 0; t < build_.cfg.workers; ++t)
+    if (!removed_.count(t)) active.push_back(t);
+  const auto current = static_cast<std::int32_t>(active.size());
+  std::int32_t toRemove = std::min<std::int32_t>(
+      static_cast<std::int32_t>(static_cast<double>(current) * p.shrinkFraction),
+      current - p.minWorkers);
+  if (toRemove <= 0) return;
+  RemovalStep step;
+  step.afterIteration = iteration;
+  for (std::int32_t i = 0; i < toRemove; ++i) {
+    const std::int32_t victim = active[active.size() - 1 - i];
+    if (victim == 0) break; // keep the entry thread
+    step.threads.push_back(victim);
+  }
+  if (!step.threads.empty()) {
+    DPS_INFO("efficiency ", eff, " below threshold ", p.threshold, ": releasing ",
+             step.threads.size(), " workers after iteration ", iteration);
+    applyStep(step, iteration);
+  }
+}
+
+void LuMalleabilityController::onMarker(const std::string& name, std::int64_t value,
+                                        SimTime when) {
+  if (name != "iteration") return;
+  if (efficiencyPolicy_) evaluateEfficiency(value, when);
+  for (const RemovalStep& step : plan_.steps)
+    if (step.afterIteration == value) applyStep(step, value);
+
+  if (policy_ == RemovalPolicy::MigrateColumns) {
+    // Retry deferred migrations: the previously pinned column is movable now.
+    for (auto it = pendingMigration_.begin(); it != pendingMigration_.end();) {
+      const std::int32_t t = *it;
+      migrateColumns(t, value);
+      const bool empty = build_.directory->columnsOf(t).empty();
+      if (empty) {
+        engine_.deactivateThread(build_.workersGroup, t);
+        it = pendingMigration_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void LuMalleabilityController::applyStep(const RemovalStep& step, std::int64_t iteration) {
+  for (std::int32_t t : step.threads) {
+    DPS_CHECK(!removed_.count(t), "thread removed twice by the allocation plan");
+    removed_.insert(t);
+    if (policy_ == RemovalPolicy::MultOnly) {
+      engine_.deactivateThread(build_.workersGroup, t);
+      continue;
+    }
+    migrateColumns(t, iteration);
+    if (build_.directory->columnsOf(t).empty()) {
+      engine_.deactivateThread(build_.workersGroup, t);
+    } else {
+      // A pinned column stays until the next boundary; the thread is
+      // deallocated once it leaves.
+      pendingMigration_.insert(t);
+    }
+  }
+}
+
+std::int32_t LuMalleabilityController::leastLoadedActive() const {
+  std::int32_t best = -1;
+  std::size_t bestLoad = std::numeric_limits<std::size_t>::max();
+  for (std::int32_t t = 0; t < build_.cfg.workers; ++t) {
+    if (removed_.count(t)) continue;
+    const std::size_t load = build_.directory->columnsOf(t).size();
+    if (load < bestLoad) {
+      bestLoad = load;
+      best = t;
+    }
+  }
+  DPS_CHECK(best >= 0, "no active thread left to receive columns");
+  return best;
+}
+
+void LuMalleabilityController::migrateColumns(std::int32_t fromThread, std::int64_t iteration) {
+  for (std::int32_t col : build_.directory->columnsOf(fromThread)) {
+    // Column `iteration` is pinned: its panel factorization is the next
+    // compute segment on its current owner (see header).
+    if (col == iteration) continue;
+    moveColumn(col, fromThread, leastLoadedActive());
+  }
+}
+
+void LuMalleabilityController::moveColumn(std::int32_t col, std::int32_t fromThread,
+                                          std::int32_t toThread) {
+  auto* from = dynamic_cast<lu::LuThreadState*>(
+      engine_.threadStateDuringRun(build_.workersGroup, fromThread));
+  auto* to = dynamic_cast<lu::LuThreadState*>(
+      engine_.threadStateDuringRun(build_.workersGroup, toThread));
+  DPS_CHECK(from != nullptr && to != nullptr, "worker states missing during migration");
+
+  const std::size_t bytes =
+      static_cast<std::size_t>(build_.cfg.n) * build_.cfg.r * sizeof(double);
+
+  if (auto it = from->columns.find(col); it != from->columns.end()) {
+    to->columns.emplace(col, std::move(it->second));
+    from->columns.erase(it);
+  } else {
+    DPS_CHECK(from->phantomColumns.erase(col) == 1,
+              "migrating a column the source thread does not own");
+    to->phantomColumns.insert(col);
+  }
+  // Pivot history moves with the panels it belongs to (verification only).
+  for (auto it = from->pivotsByLevel.begin(); it != from->pivotsByLevel.end();) {
+    if (it->first == col) {
+      to->pivotsByLevel[it->first] = std::move(it->second);
+      it = from->pivotsByLevel.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  build_.directory->setOwner(col, toThread);
+  engine_.injectTransfer(engine_.nodeOfThread(build_.workersGroup, fromThread),
+                         engine_.nodeOfThread(build_.workersGroup, toThread), bytes);
+  migratedBytes_ += bytes;
+  DPS_INFO("migrated column ", col, " from thread ", fromThread, " to ", toThread);
+}
+
+} // namespace dps::mall

@@ -1,0 +1,88 @@
+// Malleability controller: executes an allocation plan against a running
+// simulation (paper §6/§8, "kill N threads after iteration k").
+//
+// At each iteration marker the controller deactivates the scheduled worker
+// threads and migrates their column blocks to the remaining active workers
+// (updating the shared ColumnDirectory, moving the thread-state data, and
+// injecting the corresponding network transfers so the migration cost is
+// modeled).  The column whose panel factorization is about to run — column
+// `iteration` — stays pinned on its current owner until the next boundary;
+// a thread still holding pinned columns is deallocated once they migrate.
+//
+// With RemovalPolicy::MultOnly threads are merely excluded from the
+// round-robin multiplication routing and keep their columns — an ablation
+// that isolates load redistribution from node deallocation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "lu/builder.hpp"
+#include "malleable/plan.hpp"
+
+namespace dps::mall {
+
+enum class RemovalPolicy : std::uint8_t {
+  MigrateColumns, // full deallocation: columns move, nodes free up
+  MultOnly,       // only multiplication work leaves the thread
+};
+
+/// Online allocation policy (the paper's future-work direction, §9):
+/// after each iteration, evaluate the dynamic efficiency of the interval
+/// just completed; whenever it falls below `threshold`, release
+/// `shrinkFraction` of the remaining workers (never below `minWorkers`).
+struct EfficiencyPolicy {
+  double threshold = 0.35;
+  double shrinkFraction = 0.5;
+  std::int32_t minWorkers = 2;
+};
+
+class LuMalleabilityController {
+public:
+  /// Installs itself as the engine's marker hook.  The controller must
+  /// outlive the engine run.
+  LuMalleabilityController(core::SimEngine& engine, lu::LuBuild& build, AllocationPlan plan,
+                           RemovalPolicy policy = RemovalPolicy::MigrateColumns);
+
+  /// Online variant: no fixed plan; threads are released whenever the
+  /// measured per-iteration efficiency drops below the policy threshold.
+  /// Requires the engine to record a trace.
+  LuMalleabilityController(core::SimEngine& engine, lu::LuBuild& build,
+                           EfficiencyPolicy policy);
+
+  /// Threads removed so far (for tests).
+  const std::set<std::int32_t>& removed() const { return removed_; }
+  /// Total bytes moved by column migrations.
+  std::uint64_t migratedBytes() const { return migratedBytes_; }
+  /// Per-iteration efficiencies observed by the online policy.
+  const std::vector<double>& observedEfficiencies() const { return observedEff_; }
+
+private:
+  void onMarker(const std::string& name, std::int64_t value, SimTime when);
+  void applyStep(const RemovalStep& step, std::int64_t iteration);
+  /// Online policy: evaluate the finished interval, maybe shrink.
+  void evaluateEfficiency(std::int64_t iteration, SimTime when);
+  /// Migrates all movable columns off `thread`; defers the pinned column.
+  void migrateColumns(std::int32_t fromThread, std::int64_t iteration);
+  void moveColumn(std::int32_t col, std::int32_t fromThread, std::int32_t toThread);
+  /// Picks the active thread with the fewest owned columns.
+  std::int32_t leastLoadedActive() const;
+
+  core::SimEngine& engine_;
+  lu::LuBuild& build_;
+  AllocationPlan plan_;
+  RemovalPolicy policy_;
+  std::optional<EfficiencyPolicy> efficiencyPolicy_;
+  std::set<std::int32_t> removed_;
+  /// Threads waiting for a pinned column to become movable.
+  std::set<std::int32_t> pendingMigration_;
+  std::uint64_t migratedBytes_ = 0;
+  SimTime lastMarker_{};
+  std::vector<double> observedEff_;
+};
+
+} // namespace dps::mall

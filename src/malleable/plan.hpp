@@ -1,0 +1,32 @@
+// Allocation plans: which threads to remove after which iteration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dps::mall {
+
+struct RemovalStep {
+  std::int64_t afterIteration = 0;    // applied at marker ("iteration", v)
+  std::vector<std::int32_t> threads;  // worker thread indices to remove
+};
+
+struct AllocationPlan {
+  std::vector<RemovalStep> steps;
+
+  bool empty() const { return steps.empty(); }
+
+  /// The paper's Fig. 12 strategies:
+  ///   killAfter({{1, {4,5,6,7}}})          — "kill 4 after it. 1"
+  ///   killAfter({{2, {6,7}}, {3, {4,5}}})  — "kill 2 after it. 2 + 2 after it. 3"
+  static AllocationPlan killAfter(std::vector<RemovalStep> steps) {
+    AllocationPlan p;
+    p.steps = std::move(steps);
+    return p;
+  }
+
+  std::string describe() const;
+};
+
+} // namespace dps::mall

@@ -1,0 +1,44 @@
+#include "net/profile.hpp"
+
+namespace dps::net {
+
+PlatformProfile ultraSparc440() {
+  PlatformProfile p;
+  p.name = "ultrasparc440-fast-ethernet";
+  p.latency = microseconds(120);
+  p.bandwidthBytesPerSec = 11.5e6; // ~92% of 100 Mb/s achievable over TCP
+  p.cpuPerOutgoingTransfer = 0.015;
+  p.cpuPerIncomingTransfer = 0.035;
+  p.computeScale = 1.0;
+  p.perStepOverhead = microseconds(25);
+  p.localDelivery = microseconds(5);
+  return p;
+}
+
+PlatformProfile pentium4_2800() {
+  PlatformProfile p;
+  p.name = "pentium4-2800-fast-ethernet";
+  p.latency = microseconds(90);
+  p.bandwidthBytesPerSec = 11.5e6;
+  p.cpuPerOutgoingTransfer = 0.006;
+  p.cpuPerIncomingTransfer = 0.014;
+  p.computeScale = 1.0 / 6.5; // Table 1: 193.0s / 29.7s direct-exec ratio
+  p.perStepOverhead = microseconds(4);
+  p.localDelivery = microseconds(1);
+  return p;
+}
+
+PlatformProfile commodityGigabit() {
+  PlatformProfile p;
+  p.name = "commodity-gigabit";
+  p.latency = microseconds(30);
+  p.bandwidthBytesPerSec = 117e6;
+  p.cpuPerOutgoingTransfer = 0.004;
+  p.cpuPerIncomingTransfer = 0.009;
+  p.computeScale = 1.0 / 40.0;
+  p.perStepOverhead = microseconds(1);
+  p.localDelivery = nanoseconds(300);
+  return p;
+}
+
+} // namespace dps::net

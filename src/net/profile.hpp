@@ -1,0 +1,54 @@
+// Platform profiles: the "small set of platform-specific parameters" of
+// paper §4 — network latency/bandwidth, CPU cost of communication, and a
+// compute-speed scale used to port modeled kernel times between hosts.
+//
+// Parameters are characterized once per target machine, independently of the
+// simulated application (paper §4 last paragraph).
+#pragma once
+
+#include <string>
+
+#include "support/time.hpp"
+
+namespace dps::net {
+
+struct PlatformProfile {
+  std::string name;
+
+  /// One-way network latency `l` of the t = l + s/b model.
+  SimDuration latency = microseconds(100);
+  /// Per-link full-duplex bandwidth `b` in bytes/second.
+  double bandwidthBytesPerSec = 12.5e6; // Fast Ethernet
+
+  /// Fraction of one node's CPU consumed per active outgoing transfer.
+  double cpuPerOutgoingTransfer = 0.01;
+  /// Fraction per active incoming transfer; receiving induces more
+  /// interrupts and memory copies, hence costlier (paper §4).
+  double cpuPerIncomingTransfer = 0.02;
+
+  /// Multiplier applied to modeled kernel durations: 1.0 = reference host,
+  /// >1 = slower CPU.  Used to express one host's calibration on another.
+  double computeScale = 1.0;
+
+  /// Fixed framework cost charged per atomic step (dispatch, queue ops).
+  SimDuration perStepOverhead = microseconds(2);
+
+  /// Delivery delay for same-node communication (in-memory queue hop).
+  SimDuration localDelivery = microseconds(1);
+};
+
+/// The paper's measurement platform: 440 MHz UltraSparc II workstations on
+/// switched Fast Ethernet (full crossbar).  computeScale 1.0 means "modeled
+/// kernel times are calibrated in this platform's units".
+PlatformProfile ultraSparc440();
+
+/// The paper's Table 1 portability host: Pentium 4 2.8 GHz (Windows).  The
+/// ~6.5x compute-speed ratio matches Table 1's direct-execution row ratio
+/// (193.0s vs 29.7s).
+PlatformProfile pentium4_2800();
+
+/// A modern-commodity profile (gigabit network, fast CPU) used by examples
+/// and what-if studies.
+PlatformProfile commodityGigabit();
+
+} // namespace dps::net

@@ -1,0 +1,169 @@
+// Serialization archives.
+//
+// Three archives share one `describe()` traversal of a data object:
+//   * WriteArchive  — byte-exact encoding (little-endian host layout).
+//   * ReadArchive   — decoding; mirrors WriteArchive.
+//   * SizingArchive — the paper's "modified serializer": computes the wire
+//     size of a data object *without touching payload memory*, enabling the
+//     NOALLOC simulation mode where large payloads are never allocated
+//     (paper §4: "the modified serializer only counts the number of bytes
+//     ... without performing any memory copies").
+//
+// Collections are encoded as u64 length + elements.  `phantom(n)` models a
+// payload that logically occupies n bytes but has no backing storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dps::serial {
+
+class WriteArchive {
+public:
+  static constexpr bool isWriting = true;
+  static constexpr bool isReading = false;
+  static constexpr bool isSizing = false;
+
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  /// Phantom payloads encode as zero bytes (content-free, size preserved).
+  void phantom(std::size_t n) { buf_.resize(buf_.size() + n); }
+
+  template <typename T>
+    requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+  void value(const T& v) {
+    raw(&v, sizeof v);
+  }
+
+  const std::vector<std::byte>& bytes() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+private:
+  std::vector<std::byte> buf_;
+};
+
+class ReadArchive {
+public:
+  static constexpr bool isWriting = false;
+  static constexpr bool isReading = true;
+  static constexpr bool isSizing = false;
+
+  explicit ReadArchive(std::span<const std::byte> data) : data_(data) {}
+
+  void raw(void* p, std::size_t n) {
+    DPS_CHECK(pos_ + n <= data_.size(), "read archive underflow");
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  void phantom(std::size_t n) {
+    DPS_CHECK(pos_ + n <= data_.size(), "read archive underflow (phantom)");
+    pos_ += n;
+  }
+
+  template <typename T>
+    requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+  void value(T& v) {
+    raw(&v, sizeof v);
+  }
+
+  std::size_t consumed() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+class SizingArchive {
+public:
+  static constexpr bool isWriting = false;
+  static constexpr bool isReading = false;
+  static constexpr bool isSizing = true;
+
+  void raw(const void*, std::size_t n) { size_ += n; }
+  void phantom(std::size_t n) { size_ += n; }
+
+  template <typename T>
+    requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+  void value(const T&) {
+    size_ += sizeof(T);
+  }
+
+  std::size_t size() const { return size_; }
+
+private:
+  std::size_t size_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Generic field dispatch: ar & field
+// ---------------------------------------------------------------------------
+
+template <typename Ar, typename T>
+  requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+void field(Ar& ar, T& v) {
+  ar.value(v);
+}
+
+template <typename Ar>
+void field(Ar& ar, std::string& s) {
+  if constexpr (Ar::isReading) {
+    std::uint64_t n = 0;
+    ar.value(n);
+    s.resize(n);
+    if (n) ar.raw(s.data(), n);
+  } else {
+    std::uint64_t n = s.size();
+    ar.value(n);
+    if constexpr (Ar::isSizing) ar.raw(nullptr, n);
+    else if (n) ar.raw(s.data(), n);
+  }
+}
+
+template <typename Ar, typename T>
+void field(Ar& ar, std::vector<T>& v) {
+  if constexpr (Ar::isReading) {
+    std::uint64_t n = 0;
+    ar.value(n);
+    v.resize(n);
+    if constexpr (std::is_arithmetic_v<T>) {
+      if (n) ar.raw(v.data(), n * sizeof(T));
+    } else {
+      for (auto& e : v) field(ar, e);
+    }
+  } else {
+    std::uint64_t n = v.size();
+    ar.value(n);
+    if constexpr (std::is_arithmetic_v<T>) {
+      if constexpr (Ar::isSizing) ar.raw(nullptr, n * sizeof(T));
+      else if (n) ar.raw(v.data(), n * sizeof(T));
+    } else {
+      for (auto& e : v) field(ar, e);
+    }
+  }
+}
+
+template <typename Ar, typename A, typename B>
+void field(Ar& ar, std::pair<A, B>& p) {
+  field(ar, p.first);
+  field(ar, p.second);
+}
+
+/// Variadic convenience: fields(ar, a, b, c).
+template <typename Ar, typename... Ts>
+void fields(Ar& ar, Ts&... vs) {
+  (field(ar, vs), ...);
+}
+
+} // namespace dps::serial

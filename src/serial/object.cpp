@@ -1,0 +1,38 @@
+#include "serial/object.hpp"
+
+namespace dps::serial {
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(std::string name, Factory f) {
+  auto [it, inserted] = factories_.emplace(std::move(name), std::move(f));
+  DPS_CHECK(inserted, "duplicate object type registration: " + it->first);
+}
+
+std::unique_ptr<ObjectBase> Registry::create(const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) throw Error("unknown object type: " + name);
+  return it->second();
+}
+
+std::vector<std::byte> encodeFramed(const ObjectBase& obj) {
+  WriteArchive ar;
+  std::string name = obj.typeName();
+  field(ar, name);
+  obj.save(ar);
+  return ar.take();
+}
+
+std::unique_ptr<ObjectBase> Registry::decodeFramed(std::span<const std::byte> data) const {
+  ReadArchive ar(data);
+  std::string name;
+  field(ar, name);
+  auto obj = create(name);
+  obj->load(ar);
+  return obj;
+}
+
+} // namespace dps::serial

@@ -1,0 +1,98 @@
+// Strongly-typed data objects circulating in DPS flow graphs.
+//
+// An object derives from serial::Object<Derived>, declares a kTypeName and a
+// `template <class Ar> void describe(Ar&)` traversal; the CRTP base supplies
+// wire encoding, decoding and zero-copy size measurement, plus factory
+// registration for receive-side reconstruction.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "serial/archive.hpp"
+#include "support/error.hpp"
+
+namespace dps::serial {
+
+class ObjectBase {
+public:
+  virtual ~ObjectBase() = default;
+
+  virtual const char* typeName() const = 0;
+  virtual void save(WriteArchive& ar) const = 0;
+  virtual void load(ReadArchive& ar) = 0;
+  virtual void measure(SizingArchive& ar) const = 0;
+
+  /// Wire size in bytes, computed without copying payload memory.
+  std::size_t wireSize() const {
+    SizingArchive ar;
+    measure(ar);
+    return ar.size();
+  }
+
+  std::vector<std::byte> encode() const {
+    WriteArchive ar;
+    save(ar);
+    return ar.take();
+  }
+};
+
+using ObjectPtr = std::shared_ptr<const ObjectBase>;
+
+/// Factory registry mapping type names to default-constructors; used by the
+/// wire decoder and by the serialization round-trip tests.
+class Registry {
+public:
+  using Factory = std::function<std::unique_ptr<ObjectBase>()>;
+
+  static Registry& instance();
+
+  void add(std::string name, Factory f);
+  bool contains(const std::string& name) const { return factories_.count(name) > 0; }
+  std::unique_ptr<ObjectBase> create(const std::string& name) const;
+
+  /// Decodes a framed object (type name + payload) produced by encodeFramed.
+  std::unique_ptr<ObjectBase> decodeFramed(std::span<const std::byte> data) const;
+
+private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Encodes an object with a self-describing frame (type name + payload).
+std::vector<std::byte> encodeFramed(const ObjectBase& obj);
+
+template <typename Derived>
+class Object : public ObjectBase {
+public:
+  const char* typeName() const override { return Derived::kTypeName; }
+
+  void save(WriteArchive& ar) const override {
+    // describe() is logically const for non-reading archives.
+    const_cast<Derived&>(static_cast<const Derived&>(*this)).describe(ar);
+  }
+  void load(ReadArchive& ar) override { static_cast<Derived&>(*this).describe(ar); }
+  void measure(SizingArchive& ar) const override {
+    const_cast<Derived&>(static_cast<const Derived&>(*this)).describe(ar);
+  }
+};
+
+namespace detail {
+template <typename T>
+struct Registrar {
+  Registrar() {
+    Registry::instance().add(T::kTypeName, [] { return std::make_unique<T>(); });
+  }
+};
+} // namespace detail
+
+} // namespace dps::serial
+
+/// Place in one translation unit per object type to enable wire decoding.
+#define DPS_REGISTER_OBJECT(Type)                                          \
+  namespace {                                                              \
+  [[maybe_unused]] const ::dps::serial::detail::Registrar<Type>            \
+      dpsRegistrar_##Type;                                                 \
+  }

@@ -1,0 +1,46 @@
+// Minimal command-line option parser for examples and bench binaries.
+//
+// Accepts `--key=value`, `--key value` and boolean `--flag` forms; anything
+// else is a positional argument.  Unknown options are an error so typos in
+// experiment sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dps {
+
+class Cli {
+public:
+  Cli(int argc, const char* const* argv);
+
+  /// Declares an option so `--help` can describe it and parsing accepts it.
+  /// Returns the value (or `def` when absent).
+  std::string str(const std::string& key, const std::string& def, const std::string& help = {});
+  std::int64_t integer(const std::string& key, std::int64_t def, const std::string& help = {});
+  double real(const std::string& key, double def, const std::string& help = {});
+  bool flag(const std::string& key, const std::string& help = {});
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  bool helpRequested() const { return help_; }
+  std::string helpText() const;
+
+  /// Throws ConfigError if any provided --option was never declared.
+  void finish() const;
+
+private:
+  std::optional<std::string> lookup(const std::string& key);
+  void describe(const std::string& key, const std::string& def, const std::string& help);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positionals_;
+  std::vector<std::string> descriptions_;
+  bool help_ = false;
+};
+
+} // namespace dps

@@ -1,0 +1,9 @@
+#include "support/error.hpp"
+
+namespace dps {
+
+void throwInternal(const char* file, int line, const std::string& msg) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+
+} // namespace dps

@@ -1,0 +1,47 @@
+// Error handling primitives shared by every DPS module.
+//
+// The framework throws exceptions for programmer errors (malformed flow
+// graphs, violated invariants) and never for expected runtime conditions;
+// hot paths use DPS_ASSERT which compiles out in release unless
+// DPS_ENABLE_ASSERTS is defined.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dps {
+
+/// Base class for all errors raised by the DPS framework.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A flow graph failed structural validation (cycle, dangling port, ...).
+class GraphError : public Error {
+public:
+  explicit GraphError(const std::string& what) : Error("graph: " + what) {}
+};
+
+/// An engine was configured inconsistently (bad deployment, missing model).
+class ConfigError : public Error {
+public:
+  explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+/// An internal invariant was violated; indicates a bug in the framework.
+class InternalError : public Error {
+public:
+  explicit InternalError(const std::string& what) : Error("internal: " + what) {}
+};
+
+[[noreturn]] void throwInternal(const char* file, int line, const std::string& msg);
+
+} // namespace dps
+
+/// Precondition / invariant check that is always on.  Use for conditions
+/// whose failure means a framework bug; cost must be negligible.
+#define DPS_CHECK(cond, msg)                                       \
+  do {                                                             \
+    if (!(cond)) ::dps::throwInternal(__FILE__, __LINE__, (msg)); \
+  } while (0)

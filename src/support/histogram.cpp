@@ -1,0 +1,63 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace dps {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  DPS_CHECK(bins > 0, "histogram needs at least one bin");
+  DPS_CHECK(hi > lo, "histogram range must be non-empty");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  std::size_t idx;
+  if (x < lo_) {
+    ++underflow_;
+    idx = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+}
+
+void Histogram::addAll(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::binLo(std::size_t bin) const { return lo_ + width_ * static_cast<double>(bin); }
+double Histogram::binHi(std::size_t bin) const { return binLo(bin) + width_; }
+
+std::size_t Histogram::modeBin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::render(std::size_t barWidth) const {
+  const std::size_t maxCount = counts_.empty() ? 0 : counts_[modeBin()];
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = binCenter(i);
+    std::size_t bar = maxCount == 0
+                          ? 0
+                          : (counts_[i] * barWidth + maxCount - 1) / maxCount;
+    std::snprintf(line, sizeof line, "%+8.1f%% | %-*s %zu\n", c * 100.0,
+                  static_cast<int>(barWidth),
+                  std::string(bar, '#').c_str(), counts_[i]);
+    out += line;
+  }
+  return out;
+}
+
+} // namespace dps

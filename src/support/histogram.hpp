@@ -1,0 +1,45 @@
+// Fixed-width histogram with ASCII rendering (used for the paper's Fig. 13
+// prediction-error histogram and for distribution diagnostics in tests).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dps {
+
+class Histogram {
+public:
+  /// Bins of equal width covering [lo, hi); values outside are clamped into
+  /// the first/last bin and counted as underflow/overflow as well.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void addAll(const std::vector<double>& xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  double binLo(std::size_t bin) const;
+  double binHi(std::size_t bin) const;
+  double binCenter(std::size_t bin) const { return 0.5 * (binLo(bin) + binHi(bin)); }
+
+  /// Index of the most populated bin.
+  std::size_t modeBin() const;
+
+  /// Multi-line ASCII bar chart; `label(binCenter)` formats the axis.
+  std::string render(std::size_t barWidth = 40) const;
+
+private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+} // namespace dps

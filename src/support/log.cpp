@@ -1,0 +1,45 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace dps::log {
+
+namespace {
+
+Level initialLevel() {
+  const char* env = std::getenv("DPS_LOG_LEVEL");
+  if (!env) return Level::Warn;
+  if (std::strcmp(env, "debug") == 0) return Level::Debug;
+  if (std::strcmp(env, "info") == 0) return Level::Info;
+  if (std::strcmp(env, "warn") == 0) return Level::Warn;
+  return Level::Off;
+}
+
+std::atomic<Level> g_level{initialLevel()};
+std::mutex g_mutex;
+
+const char* name(Level l) {
+  switch (l) {
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    default: return "?";
+  }
+}
+
+} // namespace
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+void setLevel(Level l) { g_level.store(l, std::memory_order_relaxed); }
+bool enabled(Level l) { return static_cast<int>(l) >= static_cast<int>(level()); }
+
+void write(Level l, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[dps %s] %s\n", name(l), msg.c_str());
+}
+
+} // namespace dps::log

@@ -1,0 +1,37 @@
+// Lightweight leveled logging.  Off by default; enable with
+// DPS_LOG_LEVEL=debug|info|warn in the environment or setLevel().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dps::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Off = 3 };
+
+Level level();
+void setLevel(Level l);
+bool enabled(Level l);
+void write(Level l, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+} // namespace detail
+
+} // namespace dps::log
+
+#define DPS_LOG(levelName, ...)                                                  \
+  do {                                                                           \
+    if (::dps::log::enabled(::dps::log::Level::levelName))                       \
+      ::dps::log::write(::dps::log::Level::levelName,                            \
+                        ::dps::log::detail::concat(__VA_ARGS__));                \
+  } while (0)
+
+#define DPS_DEBUG(...) DPS_LOG(Debug, __VA_ARGS__)
+#define DPS_INFO(...) DPS_LOG(Info, __VA_ARGS__)
+#define DPS_WARN(...) DPS_LOG(Warn, __VA_ARGS__)

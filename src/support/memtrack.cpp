@@ -1,0 +1,73 @@
+// Accounting operator new/delete.  Link `dps_memtrack` to activate.
+//
+// Uses malloc_usable_size-free bookkeeping: each allocation is padded with a
+// 16-byte header holding its size, so deallocation can subtract exactly.
+// Thread-safe via relaxed atomics; the peak is maintained with a CAS loop.
+#include "support/memtrack.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::size_t> g_current{0};
+std::atomic<std::size_t> g_peak{0};
+
+constexpr std::size_t kHeader = 16; // keeps 16-byte alignment for the payload
+
+void recordAlloc(std::size_t bytes) {
+  const std::size_t now = g_current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t peak = g_peak.load(std::memory_order_relaxed);
+  while (now > peak && !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void* allocate(std::size_t size) {
+  void* raw = std::malloc(size + kHeader);
+  if (!raw) throw std::bad_alloc();
+  *static_cast<std::size_t*>(raw) = size;
+  recordAlloc(size);
+  return static_cast<char*>(raw) + kHeader;
+}
+
+void deallocate(void* p) noexcept {
+  if (!p) return;
+  void* raw = static_cast<char*>(p) - kHeader;
+  g_current.fetch_sub(*static_cast<std::size_t*>(raw), std::memory_order_relaxed);
+  std::free(raw);
+}
+
+} // namespace
+
+namespace dps::memtrack {
+
+std::size_t currentBytes() { return g_current.load(std::memory_order_relaxed); }
+std::size_t peakBytes() { return g_peak.load(std::memory_order_relaxed); }
+void resetPeak() { g_peak.store(g_current.load(std::memory_order_relaxed), std::memory_order_relaxed); }
+bool active() { return true; }
+
+} // namespace dps::memtrack
+
+void* operator new(std::size_t size) { return allocate(size); }
+void* operator new[](std::size_t size) { return allocate(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return allocate(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return allocate(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void operator delete(void* p) noexcept { deallocate(p); }
+void operator delete[](void* p) noexcept { deallocate(p); }
+void operator delete(void* p, std::size_t) noexcept { deallocate(p); }
+void operator delete[](void* p, std::size_t) noexcept { deallocate(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { deallocate(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { deallocate(p); }

@@ -1,0 +1,21 @@
+// Heap accounting used by the Table 1 reproduction (memory column of the
+// PDEXEC / NOALLOC comparison).
+//
+// The accounting operators new/delete live in the separate `dps_memtrack`
+// library; link it into a binary to activate tracking.  Binaries that do not
+// link it get the weak fallbacks below, which report zero.
+#pragma once
+
+#include <cstddef>
+
+namespace dps::memtrack {
+
+/// Bytes currently allocated through operator new (0 if tracking inactive).
+std::size_t currentBytes();
+/// High-water mark since process start or the last resetPeak().
+std::size_t peakBytes();
+void resetPeak();
+/// True when the accounting allocator is linked in.
+bool active();
+
+} // namespace dps::memtrack

@@ -1,0 +1,11 @@
+// Weak fallbacks: report "tracking inactive" unless dps_memtrack is linked.
+#include "support/memtrack.hpp"
+
+namespace dps::memtrack {
+
+__attribute__((weak)) std::size_t currentBytes() { return 0; }
+__attribute__((weak)) std::size_t peakBytes() { return 0; }
+__attribute__((weak)) void resetPeak() {}
+__attribute__((weak)) bool active() { return false; }
+
+} // namespace dps::memtrack

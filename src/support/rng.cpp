@@ -1,0 +1,24 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace dps {
+
+double Rng::normal() {
+  if (haveSpare_) {
+    haveSpare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  haveSpare_ = true;
+  return u * factor;
+}
+
+} // namespace dps

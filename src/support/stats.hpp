@@ -1,0 +1,46 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dps {
+
+/// Welford online accumulator: mean / variance / min / max in one pass.
+class OnlineStats {
+public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const OnlineStats& other);
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set with linear interpolation; `p` in [0, 100].
+/// Copies its input; fine for experiment-sized data.
+double percentile(std::vector<double> samples, double p);
+
+/// Signed relative error of `predicted` against `measured` (paper Fig. 13
+/// convention: (predicted - measured) / measured).
+double relativeError(double predicted, double measured);
+
+/// Fraction of |errors| <= bound.
+double fractionWithin(const std::vector<double>& errors, double bound);
+
+} // namespace dps

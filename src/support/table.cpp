@@ -1,0 +1,83 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace dps {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::header(std::vector<std::string> names) {
+  DPS_CHECK(!names.empty(), "table header must have columns");
+  header_ = std::move(names);
+  if (aligns_.empty()) {
+    aligns_.assign(header_.size(), Align::Right);
+    aligns_[0] = Align::Left;
+  }
+}
+
+void Table::align(std::vector<Align> aligns) {
+  DPS_CHECK(header_.empty() || aligns.size() == header_.size(),
+            "alignment count must match column count");
+  aligns_ = std::move(aligns);
+}
+
+void Table::row(std::vector<std::string> cells) {
+  DPS_CHECK(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::secs(double seconds, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fs", precision, seconds);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const auto pad = widths[c] - cells[c].size();
+      if (c) os << "  ";
+      if (aligns_[c] == Align::Right) os << std::string(pad, ' ') << cells[c];
+      else os << cells[c] << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 0;
+  for (auto w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+
+  if (!title_.empty()) os << title_ << '\n';
+  emit(header_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string Table::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+} // namespace dps

@@ -1,0 +1,45 @@
+// Aligned text tables for benchmark / experiment output.
+//
+// Every bench binary prints the same rows the paper's tables and figures
+// report; this printer keeps that output readable and diffable.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dps {
+
+class Table {
+public:
+  enum class Align { Left, Right };
+
+  explicit Table(std::string title = {});
+
+  /// Sets the header row; column count is fixed from here on.
+  void header(std::vector<std::string> names);
+  /// Per-column alignment; default is Left for col 0, Right otherwise.
+  void align(std::vector<Align> aligns);
+
+  void row(std::vector<std::string> cells);
+
+  /// Convenience formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+  static std::string secs(double seconds, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dps

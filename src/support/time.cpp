@@ -1,0 +1,24 @@
+#include "support/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dps {
+
+std::string formatDuration(SimDuration d) {
+  const double ns = static_cast<double>(d.count());
+  const double abs = std::fabs(ns);
+  char buf[48];
+  if (abs >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", ns * 1e-9);
+  } else if (abs >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ns * 1e-6);
+  } else if (abs >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", ns * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  }
+  return buf;
+}
+
+} // namespace dps

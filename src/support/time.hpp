@@ -1,0 +1,57 @@
+// Virtual-time types used throughout the simulator.
+//
+// Simulation time is a distinct clock from wall-clock time so the two can
+// never be mixed accidentally.  Resolution is one nanosecond, stored in a
+// 64-bit integer (plenty for multi-day simulations).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace dps {
+
+/// Tag clock for simulated time; never ticks on its own.
+struct VirtualClock {
+  using rep = std::int64_t;
+  using period = std::nano;
+  using duration = std::chrono::duration<rep, period>;
+  using time_point = std::chrono::time_point<VirtualClock>;
+  static constexpr bool is_steady = true;
+};
+
+/// A duration in simulated time.
+using SimDuration = VirtualClock::duration;
+/// An instant in simulated time (starts at zero when a simulation begins).
+using SimTime = VirtualClock::time_point;
+
+constexpr SimDuration nanoseconds(std::int64_t n) { return SimDuration{n}; }
+constexpr SimDuration microseconds(std::int64_t n) { return SimDuration{n * 1000}; }
+constexpr SimDuration milliseconds(std::int64_t n) { return SimDuration{n * 1000000}; }
+
+/// Converts a floating-point second count into a SimDuration (rounded).
+constexpr SimDuration seconds(double s) {
+  return SimDuration{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+}
+
+constexpr double toSeconds(SimDuration d) { return static_cast<double>(d.count()) * 1e-9; }
+constexpr double toMillis(SimDuration d) { return static_cast<double>(d.count()) * 1e-6; }
+constexpr double toMicros(SimDuration d) { return static_cast<double>(d.count()) * 1e-3; }
+
+constexpr SimTime simEpoch() { return SimTime{SimDuration{0}}; }
+
+/// Scales a duration by a dimensionless factor (e.g. slowdown of a platform).
+constexpr SimDuration scale(SimDuration d, double factor) {
+  return SimDuration{static_cast<std::int64_t>(static_cast<double>(d.count()) * factor + 0.5)};
+}
+
+/// Formats a duration with an adaptive unit, e.g. "62.31s", "4.20ms".
+std::string formatDuration(SimDuration d);
+
+inline std::ostream& operator<<(std::ostream& os, SimDuration d) { return os << formatDuration(d); }
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << formatDuration(t.time_since_epoch());
+}
+
+} // namespace dps

@@ -1,0 +1,45 @@
+#include "trace/efficiency.hpp"
+
+#include "support/error.hpp"
+
+namespace dps::trace {
+
+namespace {
+double segmentEfficiency(const Trace& trace, SimTime lo, SimTime hi) {
+  if (hi <= lo) return 0.0;
+  const double nodeSeconds = trace.nodeSecondsIn(lo, hi);
+  if (nodeSeconds <= 0.0) return 0.0;
+  return toSeconds(trace.workIn(lo, hi)) / nodeSeconds;
+}
+} // namespace
+
+std::vector<EfficiencyPoint> dynamicEfficiency(const Trace& trace, const std::string& markerName,
+                                               SimTime runStart, SimTime runEnd) {
+  const auto markers = trace.markersNamed(markerName);
+  std::vector<EfficiencyPoint> points;
+  SimTime cursor = runStart;
+  for (const auto& m : markers) {
+    EfficiencyPoint p;
+    p.markerValue = m.value;
+    p.start = cursor;
+    p.end = m.time;
+    p.efficiency = segmentEfficiency(trace, p.start, p.end);
+    points.push_back(p);
+    cursor = m.time;
+  }
+  if (cursor < runEnd) {
+    EfficiencyPoint p;
+    p.markerValue = points.empty() ? 0 : points.back().markerValue + 1;
+    p.start = cursor;
+    p.end = runEnd;
+    p.efficiency = segmentEfficiency(trace, cursor, runEnd);
+    points.push_back(p);
+  }
+  return points;
+}
+
+double overallEfficiency(const Trace& trace, SimTime runStart, SimTime runEnd) {
+  return segmentEfficiency(trace, runStart, runEnd);
+}
+
+} // namespace dps::trace

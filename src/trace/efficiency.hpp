@@ -1,0 +1,33 @@
+// Dynamic efficiency (the paper's central metric, §1/§8 Fig. 11).
+//
+// Efficiency over an interval = useful computation performed (contention-
+// free step work, node-seconds) divided by the node-seconds of allocated
+// capacity in the interval.  The *dynamic* efficiency evaluates this per
+// application phase — here, between successive "iteration" markers —
+// exposing how a shrinking workload wastes a static allocation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dps::trace {
+
+struct EfficiencyPoint {
+  std::int64_t markerValue = 0; // e.g. iteration number
+  SimTime start{};
+  SimTime end{};
+  double efficiency = 0.0; // in [0, 1]
+};
+
+/// Splits [runStart, runEnd) at markers named `markerName` and computes the
+/// efficiency of each segment.  Segment i ends at the i-th marker; its
+/// markerValue is taken from that marker.
+std::vector<EfficiencyPoint> dynamicEfficiency(const Trace& trace, const std::string& markerName,
+                                               SimTime runStart, SimTime runEnd);
+
+/// Whole-run efficiency over [runStart, runEnd).
+double overallEfficiency(const Trace& trace, SimTime runStart, SimTime runEnd);
+
+} // namespace dps::trace

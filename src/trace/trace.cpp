@@ -1,0 +1,99 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace dps::trace {
+
+const char* toString(StepKind k) {
+  switch (k) {
+    case StepKind::Input: return "input";
+    case StepKind::Emit: return "emit";
+    case StepKind::Finalize: return "finalize";
+  }
+  return "?";
+}
+
+SimDuration Trace::totalWork() const {
+  SimDuration total{};
+  for (const auto& s : steps_) total += s.work;
+  return total;
+}
+
+std::uint64_t Trace::totalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& t : transfers_) total += t.bytes;
+  return total;
+}
+
+namespace {
+SimDuration overlap(SimTime aLo, SimTime aHi, SimTime bLo, SimTime bHi) {
+  const SimTime lo = std::max(aLo, bLo);
+  const SimTime hi = std::min(aHi, bHi);
+  return hi > lo ? hi - lo : SimDuration::zero();
+}
+} // namespace
+
+double Trace::nodeBusyFraction(flow::NodeId node, SimTime from, SimTime to) const {
+  DPS_CHECK(to > from, "empty busy-fraction window");
+  // Collect intervals on the node, merge overlaps, integrate.
+  std::vector<std::pair<SimTime, SimTime>> spans;
+  for (const auto& s : steps_) {
+    if (s.node != node || s.end <= from || s.start >= to) continue;
+    spans.emplace_back(std::max(s.start, from), std::min(s.end, to));
+  }
+  std::sort(spans.begin(), spans.end());
+  SimDuration busy{};
+  SimTime cursor = from;
+  for (const auto& [lo, hi] : spans) {
+    const SimTime start = std::max(lo, cursor);
+    if (hi > start) {
+      busy += hi - start;
+      cursor = hi;
+    }
+  }
+  return toSeconds(busy) / toSeconds(to - from);
+}
+
+SimDuration Trace::workIn(SimTime from, SimTime to) const {
+  DPS_CHECK(to > from, "empty work window");
+  SimDuration total{};
+  for (const auto& s : steps_) {
+    const SimDuration span = s.end - s.start;
+    if (span <= SimDuration::zero()) {
+      // Instantaneous step: attribute fully if the instant lies inside.
+      if (s.start >= from && s.start < to) total += s.work;
+      continue;
+    }
+    const SimDuration ov = overlap(s.start, s.end, from, to);
+    if (ov > SimDuration::zero())
+      total += scale(s.work, toSeconds(ov) / toSeconds(span));
+  }
+  return total;
+}
+
+double Trace::nodeSecondsIn(SimTime from, SimTime to) const {
+  DPS_CHECK(to > from, "empty node-seconds window");
+  DPS_CHECK(!allocations_.empty(), "no allocation records");
+  double nodeSeconds = 0.0;
+  // allocations_ are appended in time order; integrate piecewise.
+  for (std::size_t i = 0; i < allocations_.size(); ++i) {
+    const SimTime lo = allocations_[i].time;
+    const SimTime hi = (i + 1 < allocations_.size()) ? allocations_[i + 1].time : to;
+    const SimDuration ov = overlap(lo, std::max(hi, lo), from, to);
+    nodeSeconds += toSeconds(ov) * allocations_[i].allocatedNodes;
+  }
+  return nodeSeconds;
+}
+
+std::vector<MarkerRecord> Trace::markersNamed(const std::string& name) const {
+  std::vector<MarkerRecord> out;
+  for (const auto& m : markers_)
+    if (m.name == name) out.push_back(m);
+  std::sort(out.begin(), out.end(),
+            [](const MarkerRecord& a, const MarkerRecord& b) { return a.time < b.time; });
+  return out;
+}
+
+} // namespace dps::trace

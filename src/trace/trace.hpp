@@ -1,0 +1,47 @@
+// Trace container and summary queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/records.hpp"
+
+namespace dps::trace {
+
+class Trace {
+public:
+  void add(StepRecord r) { steps_.push_back(std::move(r)); }
+  void add(TransferRecord r) { transfers_.push_back(std::move(r)); }
+  void add(MarkerRecord r) { markers_.push_back(std::move(r)); }
+  void add(AllocationRecord r) { allocations_.push_back(std::move(r)); }
+
+  const std::vector<StepRecord>& steps() const { return steps_; }
+  const std::vector<TransferRecord>& transfers() const { return transfers_; }
+  const std::vector<MarkerRecord>& markers() const { return markers_; }
+  const std::vector<AllocationRecord>& allocations() const { return allocations_; }
+
+  /// Total contention-free work across all steps.
+  SimDuration totalWork() const;
+  /// Total bytes moved across the network (excludes same-node hops).
+  std::uint64_t totalBytes() const;
+  /// Busy (wall) time share of a node in [from, to): fraction of the window
+  /// during which at least one step ran on the node.
+  double nodeBusyFraction(flow::NodeId node, SimTime from, SimTime to) const;
+  /// Sum of step work overlapping [from, to), attributed proportionally to
+  /// the overlapped portion of each step's span.
+  SimDuration workIn(SimTime from, SimTime to) const;
+  /// Time-integral of the allocated node count over [from, to) in
+  /// node-seconds.  Allocation records must cover the window.
+  double nodeSecondsIn(SimTime from, SimTime to) const;
+
+  /// Marker timestamps with the given name, in time order.
+  std::vector<MarkerRecord> markersNamed(const std::string& name) const;
+
+private:
+  std::vector<StepRecord> steps_;
+  std::vector<TransferRecord> transfers_;
+  std::vector<MarkerRecord> markers_;
+  std::vector<AllocationRecord> allocations_;
+};
+
+} // namespace dps::trace

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/cpu_model.hpp"
+#include "des/scheduler.hpp"
+
+namespace dps::core {
+namespace {
+
+CpuModel::Config sharingOnly() {
+  CpuModel::Config c;
+  c.sharing = true;
+  c.commOverhead = false;
+  return c;
+}
+
+TEST(CpuModelTest, SingleStepRunsAtFullSpeed) {
+  des::Scheduler sched;
+  CpuModel cpu(sched, sharingOnly(), 2);
+  SimTime done{};
+  cpu.startStep(0, milliseconds(10), [&] { done = sched.now(); });
+  sched.run();
+  EXPECT_EQ(done, simEpoch() + milliseconds(10));
+}
+
+TEST(CpuModelTest, TwoStepsShareEvenly) {
+  des::Scheduler sched;
+  CpuModel cpu(sched, sharingOnly(), 1);
+  SimTime d1{}, d2{};
+  cpu.startStep(0, milliseconds(10), [&] { d1 = sched.now(); });
+  cpu.startStep(0, milliseconds(10), [&] { d2 = sched.now(); });
+  sched.run();
+  // Both at half speed: 20 ms.
+  EXPECT_EQ(d1, simEpoch() + milliseconds(20));
+  EXPECT_EQ(d2, simEpoch() + milliseconds(20));
+}
+
+TEST(CpuModelTest, ShorterStepFinishesFirstThenRateRecovers) {
+  des::Scheduler sched;
+  CpuModel cpu(sched, sharingOnly(), 1);
+  SimTime dShort{}, dLong{};
+  cpu.startStep(0, milliseconds(5), [&] { dShort = sched.now(); });
+  cpu.startStep(0, milliseconds(10), [&] { dLong = sched.now(); });
+  sched.run();
+  // Shared till the short one retires 5 ms of work at half rate (t=10ms);
+  // the long one then has 5 ms left at full rate -> t=15ms.
+  EXPECT_EQ(dShort, simEpoch() + milliseconds(10));
+  EXPECT_EQ(dLong, simEpoch() + milliseconds(15));
+}
+
+TEST(CpuModelTest, StepsOnDifferentNodesDoNotInteract) {
+  des::Scheduler sched;
+  CpuModel cpu(sched, sharingOnly(), 2);
+  SimTime d1{}, d2{};
+  cpu.startStep(0, milliseconds(10), [&] { d1 = sched.now(); });
+  cpu.startStep(1, milliseconds(10), [&] { d2 = sched.now(); });
+  sched.run();
+  EXPECT_EQ(d1, simEpoch() + milliseconds(10));
+  EXPECT_EQ(d2, simEpoch() + milliseconds(10));
+}
+
+TEST(CpuModelTest, SharingOffRunsConcurrentStepsAtFullSpeed) {
+  des::Scheduler sched;
+  CpuModel::Config cfg;
+  cfg.sharing = false;
+  cfg.commOverhead = false;
+  CpuModel cpu(sched, cfg, 1);
+  SimTime d1{}, d2{};
+  cpu.startStep(0, milliseconds(10), [&] { d1 = sched.now(); });
+  cpu.startStep(0, milliseconds(10), [&] { d2 = sched.now(); });
+  sched.run();
+  EXPECT_EQ(d1, simEpoch() + milliseconds(10));
+  EXPECT_EQ(d2, simEpoch() + milliseconds(10));
+}
+
+TEST(CpuModelTest, CommunicationConsumesCpu) {
+  des::Scheduler sched;
+  CpuModel::Config cfg;
+  cfg.sharing = true;
+  cfg.commOverhead = true;
+  cfg.cpuPerIncoming = 0.3;
+  cfg.cpuPerOutgoing = 0.1;
+  CpuModel cpu(sched, cfg, 1);
+  cpu.setCommActivity(0, /*in=*/1, /*out=*/1); // 40% of the CPU gone
+  SimTime done{};
+  cpu.startStep(0, milliseconds(6), [&] { done = sched.now(); });
+  sched.run();
+  EXPECT_EQ(done, simEpoch() + milliseconds(10)); // 6 ms / 0.6
+}
+
+TEST(CpuModelTest, CommActivityChangeMidStepReplans) {
+  des::Scheduler sched;
+  CpuModel::Config cfg;
+  cfg.commOverhead = true;
+  cfg.cpuPerIncoming = 0.5;
+  cfg.cpuPerOutgoing = 0.0;
+  CpuModel cpu(sched, cfg, 1);
+  SimTime done{};
+  cpu.startStep(0, milliseconds(10), [&] { done = sched.now(); });
+  sched.scheduleAfter(milliseconds(4), [&] { cpu.setCommActivity(0, 1, 0); });
+  sched.run();
+  // 4 ms at full speed (4 ms work done), 6 ms left at 0.5 -> 12 ms more.
+  EXPECT_EQ(done, simEpoch() + milliseconds(16));
+}
+
+TEST(CpuModelTest, AvailableCpuIsFloored) {
+  des::Scheduler sched;
+  CpuModel::Config cfg;
+  cfg.commOverhead = true;
+  cfg.cpuPerIncoming = 0.2;
+  cfg.minAvailable = 0.05;
+  CpuModel cpu(sched, cfg, 1);
+  cpu.setCommActivity(0, 10, 0); // nominally 200% consumed
+  EXPECT_DOUBLE_EQ(cpu.availableCpu(0), 0.05);
+}
+
+TEST(CpuModelTest, ZeroWorkStepCompletesImmediately) {
+  des::Scheduler sched;
+  CpuModel cpu(sched, sharingOnly(), 1);
+  SimTime done{simEpoch() + milliseconds(99)};
+  cpu.startStep(0, SimDuration::zero(), [&] { done = sched.now(); });
+  sched.run();
+  EXPECT_EQ(done, simEpoch());
+}
+
+TEST(CpuModelTest, RunningStepsCountTracks) {
+  des::Scheduler sched;
+  CpuModel cpu(sched, sharingOnly(), 1);
+  cpu.startStep(0, milliseconds(1), [] {});
+  cpu.startStep(0, milliseconds(2), [] {});
+  EXPECT_EQ(cpu.runningSteps(0), 2);
+  sched.run();
+  EXPECT_EQ(cpu.runningSteps(0), 0);
+}
+
+} // namespace
+} // namespace dps::core

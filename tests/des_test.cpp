@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/scheduler.hpp"
+#include "support/error.hpp"
+
+namespace dps::des {
+namespace {
+
+TEST(SchedulerTest, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.scheduleAt(simEpoch() + milliseconds(3), [&] { order.push_back(3); });
+  s.scheduleAt(simEpoch() + milliseconds(1), [&] { order.push_back(1); });
+  s.scheduleAt(simEpoch() + milliseconds(2), [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), simEpoch() + milliseconds(3));
+}
+
+TEST(SchedulerTest, FifoAmongEqualTimestamps) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.scheduleAt(simEpoch() + milliseconds(5), [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, ScheduleAfterUsesNow) {
+  Scheduler s;
+  SimTime fired{};
+  s.scheduleAfter(milliseconds(1), [&] {
+    s.scheduleAfter(milliseconds(2), [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, simEpoch() + milliseconds(3));
+}
+
+TEST(SchedulerTest, PastSchedulingThrows) {
+  Scheduler s;
+  s.scheduleAfter(milliseconds(2), [] {});
+  s.run();
+  EXPECT_THROW(s.scheduleAt(simEpoch() + milliseconds(1), [] {}), Error);
+  EXPECT_THROW(s.scheduleAfter(milliseconds(-1), [] {}), Error);
+}
+
+TEST(SchedulerTest, CancelPreventsFiring) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.scheduleAfter(milliseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(id.pending());
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(id.pending());
+  EXPECT_FALSE(s.cancel(id)); // double cancel reports false
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.firedCount(), 0u);
+}
+
+TEST(SchedulerTest, CancelFromInsideHandler) {
+  Scheduler s;
+  bool fired = false;
+  EventId later = s.scheduleAfter(milliseconds(2), [&] { fired = true; });
+  s.scheduleAfter(milliseconds(1), [&] { EXPECT_TRUE(s.cancel(later)); });
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerTest, HandlerCanScheduleMore) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) s.scheduleAfter(milliseconds(1), chain);
+  };
+  s.scheduleAfter(milliseconds(1), chain);
+  EXPECT_EQ(s.run(), 5u);
+  EXPECT_EQ(s.now(), simEpoch() + milliseconds(5));
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i)
+    s.scheduleAt(simEpoch() + milliseconds(i), [&] { ++fired; });
+  EXPECT_EQ(s.runUntil(simEpoch() + milliseconds(4)), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(s.now(), simEpoch() + milliseconds(4));
+  EXPECT_EQ(s.pendingCount(), 6u);
+  s.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Scheduler s;
+  s.runUntil(simEpoch() + milliseconds(7));
+  EXPECT_EQ(s.now(), simEpoch() + milliseconds(7));
+}
+
+TEST(SchedulerTest, StepFiresExactlyOne) {
+  Scheduler s;
+  int fired = 0;
+  s.scheduleAfter(milliseconds(1), [&] { ++fired; });
+  s.scheduleAfter(milliseconds(2), [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SchedulerTest, ResetClearsEverything) {
+  Scheduler s;
+  s.scheduleAfter(milliseconds(1), [] {});
+  s.reset();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.now(), simEpoch());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SchedulerTest, ZeroDelayEventsKeepFifoOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.scheduleAfter(SimDuration::zero(), [&] {
+    order.push_back(1);
+    s.scheduleAfter(SimDuration::zero(), [&] { order.push_back(2); });
+  });
+  s.scheduleAfter(SimDuration::zero(), [&] { order.push_back(3); });
+  s.run();
+  // The nested zero-delay event lands after already queued ones at t=0.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(SchedulerTest, ManyEventsStressOrdering) {
+  Scheduler s;
+  SimTime last = simEpoch();
+  bool monotonic = true;
+  for (int i = 0; i < 10000; ++i) {
+    const auto at = simEpoch() + nanoseconds((i * 7919) % 100000);
+    s.scheduleAt(at, [&, at] {
+      if (s.now() < last) monotonic = false;
+      last = s.now();
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotonic);
+}
+
+} // namespace
+} // namespace dps::des

@@ -1,0 +1,182 @@
+// Model-level behaviour of the simulator: network contention, CPU sharing
+// and communication CPU overhead as observed through whole-program runs —
+// the properties §4 of the paper claims distinguish it from contention-free
+// simulators.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "net/profile.hpp"
+#include "test_graphs.hpp"
+
+namespace dps::core {
+namespace {
+
+using test::buildFanout;
+using test::FanoutSpec;
+using test::singleNodeDeployment;
+using test::spreadDeployment;
+using test::Sum;
+
+net::PlatformProfile analyticProfile() {
+  net::PlatformProfile p;
+  p.latency = milliseconds(1);
+  p.bandwidthBytesPerSec = 1e6;
+  p.perStepOverhead = SimDuration::zero();
+  p.localDelivery = SimDuration::zero();
+  p.cpuPerIncomingTransfer = 0.0;
+  p.cpuPerOutgoingTransfer = 0.0;
+  return p;
+}
+
+flow::Program program(const test::FanoutBuild& b, flow::Deployment d) {
+  flow::Program p;
+  p.graph = b.graph.get();
+  p.deployment = std::move(d);
+  p.inputs = b.inputs;
+  return p;
+}
+
+SimDuration runWith(FanoutSpec spec, SimConfig cfg, bool singleNode = false) {
+  auto b = buildFanout(spec);
+  SimEngine engine(cfg);
+  auto d = singleNode ? singleNodeDeployment(b) : spreadDeployment(b);
+  auto result = engine.run(program(b, std::move(d)));
+  const auto& sum = dynamic_cast<const Sum&>(*result.outputs.at(0));
+  EXPECT_EQ(sum.count, spec.jobs);
+  return result.makespan;
+}
+
+TEST(EngineModelTest, NetworkContentionStretchesCommHeavyRuns) {
+  FanoutSpec spec;
+  spec.jobs = 8;
+  spec.workers = 4;
+  spec.splitCost = SimDuration::zero();
+  spec.computeCost = SimDuration::zero();
+  spec.mergeCost = SimDuration::zero();
+  spec.payloadBytes = 40000; // 40 ms per transfer at 1 MB/s
+
+  SimConfig contended;
+  contended.profile = analyticProfile();
+  SimConfig uncontended = contended;
+  uncontended.networkContention = false;
+
+  const auto tC = runWith(spec, contended);
+  const auto tU = runWith(spec, uncontended);
+  EXPECT_GT(tC, tU);
+}
+
+TEST(EngineModelTest, CpuSharingStretchesColocatedCompute) {
+  FanoutSpec spec;
+  spec.jobs = 2;
+  spec.workers = 2;
+  spec.splitCost = SimDuration::zero();
+  spec.computeCost = milliseconds(5);
+  spec.mergeCost = milliseconds(7);
+  spec.payloadBytes = 1000 - 8 - 8 - 64;
+
+  SimConfig shared;
+  shared.profile = analyticProfile();
+  SimConfig unshared = shared;
+  unshared.cpuSharing = false;
+
+  // Single node: both leaf computations overlap and contend for the CPU.
+  const auto tShared = runWith(spec, shared, /*singleNode=*/true);
+  const auto tUnshared = runWith(spec, unshared, /*singleNode=*/true);
+  // Shared: leaves run 0-10ms at half rate, absorbs 10-17, 17-24.
+  EXPECT_EQ(tShared, milliseconds(24));
+  // Unshared: leaves 0-5ms, absorbs 5-12, 12-19.
+  EXPECT_EQ(tUnshared, milliseconds(19));
+}
+
+TEST(EngineModelTest, CommCpuOverheadSlowsOverlappingCompute) {
+  FanoutSpec spec;
+  spec.jobs = 2;
+  spec.workers = 1;
+  spec.splitCost = SimDuration::zero();
+  spec.computeCost = milliseconds(5);
+  spec.mergeCost = SimDuration::zero();
+  spec.payloadBytes = 1000 - 8 - 8 - 64;
+
+  SimConfig withOverhead;
+  withOverhead.profile = analyticProfile();
+  withOverhead.profile.cpuPerIncomingTransfer = 0.5;
+  withOverhead.profile.cpuPerOutgoingTransfer = 0.1;
+  SimConfig noOverhead = withOverhead;
+  noOverhead.commCpuOverhead = false;
+
+  const auto tOn = runWith(spec, withOverhead);
+  const auto tOff = runWith(spec, noOverhead);
+  EXPECT_GT(tOn, tOff);
+}
+
+TEST(EngineModelTest, FasterNetworkShortensCommBoundRuns) {
+  FanoutSpec spec;
+  spec.jobs = 4;
+  spec.workers = 2;
+  spec.computeCost = microseconds(100);
+  spec.payloadBytes = 100000;
+
+  SimConfig slow;
+  slow.profile = analyticProfile();
+  SimConfig fast = slow;
+  fast.profile.bandwidthBytesPerSec = 10e6;
+
+  EXPECT_GT(runWith(spec, slow), runWith(spec, fast));
+}
+
+TEST(EngineModelTest, LatencyDominatesSmallMessages) {
+  FanoutSpec spec;
+  spec.jobs = 16;
+  spec.workers = 4;
+  spec.computeCost = SimDuration::zero();
+  spec.splitCost = SimDuration::zero();
+  spec.mergeCost = SimDuration::zero();
+  spec.payloadBytes = 16;
+
+  SimConfig lowLat;
+  lowLat.profile = analyticProfile();
+  lowLat.profile.latency = microseconds(10);
+  SimConfig highLat = lowLat;
+  highLat.profile.latency = milliseconds(5);
+
+  const auto tLow = runWith(spec, lowLat);
+  const auto tHigh = runWith(spec, highLat);
+  EXPECT_GT(tHigh, tLow + milliseconds(9)); // at least 2 serialized hops
+}
+
+TEST(EngineModelTest, MoreWorkersSpeedUpComputeBoundRuns) {
+  FanoutSpec spec;
+  spec.jobs = 8;
+  spec.workers = 1;
+  spec.computeCost = milliseconds(20);
+  spec.payloadBytes = 128;
+
+  SimConfig cfg;
+  cfg.profile = analyticProfile();
+  const auto t1 = runWith(spec, cfg);
+  spec.workers = 4;
+  const auto t4 = runWith(spec, cfg);
+  EXPECT_LT(toSeconds(t4), toSeconds(t1) * 0.5);
+}
+
+TEST(EngineModelTest, FidelityLayerAddsRealisticOverheadNotChaos) {
+  FanoutSpec spec;
+  spec.jobs = 16;
+  spec.workers = 4;
+  spec.computeCost = milliseconds(2);
+  spec.payloadBytes = 4000;
+
+  SimConfig clean;
+  clean.profile = analyticProfile();
+  SimConfig noisy = clean;
+  noisy.fidelity.enabled = true;
+  noisy.fidelity.seed = 99;
+
+  const double tClean = toSeconds(runWith(spec, clean));
+  const double tNoisy = toSeconds(runWith(spec, noisy));
+  EXPECT_GT(tNoisy, tClean); // overheads make reality slower than the model
+  EXPECT_LT(tNoisy, tClean * 1.5); // but within a sane envelope
+}
+
+} // namespace
+} // namespace dps::core

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "flow/active_set.hpp"
+#include "flow/graph.hpp"
+#include "flow/ledger.hpp"
+#include "flow/ops.hpp"
+#include "flow/routing.hpp"
+#include "test_graphs.hpp"
+
+namespace dps::flow {
+namespace {
+
+OperationFactory noopLeaf() {
+  return makeOp<LambdaLeaf>([](OpContext&, const serial::ObjectBase&) {});
+}
+
+// --- FlowGraph construction & validation ---
+
+class GraphFixture : public ::testing::Test {
+protected:
+  FlowGraph g;
+  GroupId grp = g.addGroup("grp");
+};
+
+TEST_F(GraphFixture, ValidSplitMergeGraphPasses) {
+  auto s = g.addSplit("s", grp, noopLeaf());
+  auto l = g.addLeaf("l", grp, noopLeaf());
+  auto m = g.addMerge("m", grp, noopLeaf());
+  g.setEntry(s);
+  g.connect(s, 0, l, routeTo(0));
+  g.pair(s, 0, m);
+  g.connect(l, 0, m, routeTo(0));
+  g.connectOutput(m, 0);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST_F(GraphFixture, MissingEntryFails) {
+  auto s = g.addSplit("s", grp, noopLeaf());
+  auto m = g.addMerge("m", grp, noopLeaf());
+  g.connect(s, 0, m, routeTo(0));
+  g.pair(s, 0, m);
+  g.connectOutput(m, 0);
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST_F(GraphFixture, UnpairedSplitFails) {
+  auto s = g.addSplit("s", grp, noopLeaf());
+  auto l = g.addLeaf("l", grp, noopLeaf());
+  g.setEntry(s);
+  g.connect(s, 0, l, routeTo(0));
+  g.connectOutput(l, 0);
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST_F(GraphFixture, UnpairedMergeFails) {
+  auto s = g.addSplit("s", grp, noopLeaf());
+  auto m = g.addMerge("m", grp, noopLeaf());
+  g.setEntry(s);
+  g.connect(s, 0, m, routeTo(0));
+  g.pair(s, 0, m);
+  auto m2 = g.addMerge("orphan", grp, noopLeaf());
+  g.connect(m, 0, m2, routeTo(0));
+  g.connectOutput(m2, 0);
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST_F(GraphFixture, CycleDetected) {
+  auto s = g.addSplit("s", grp, noopLeaf());
+  auto a = g.addLeaf("a", grp, noopLeaf());
+  auto b = g.addLeaf("b", grp, noopLeaf());
+  auto m = g.addMerge("m", grp, noopLeaf());
+  g.setEntry(s);
+  g.pair(s, 0, m);
+  g.connect(s, 0, a, routeTo(0));
+  g.connect(a, 0, b, routeTo(0));
+  g.connect(b, 0, a, routeTo(0)); // cycle a -> b -> a
+  g.connectOutput(m, 0);
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST_F(GraphFixture, UnreachableOpDetected) {
+  auto s = g.addSplit("s", grp, noopLeaf());
+  auto m = g.addMerge("m", grp, noopLeaf());
+  g.addLeaf("island", grp, noopLeaf()); // never connected
+  g.setEntry(s);
+  g.pair(s, 0, m);
+  g.connect(s, 0, m, routeTo(0));
+  g.connectOutput(m, 0);
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST_F(GraphFixture, DoubleConnectSamePortFails) {
+  auto a = g.addLeaf("a", grp, noopLeaf());
+  auto b = g.addLeaf("b", grp, noopLeaf());
+  g.connect(a, 0, b, routeTo(0));
+  EXPECT_THROW(g.connect(a, 0, b, routeTo(0)), GraphError);
+  EXPECT_THROW(g.connectOutput(a, 0), GraphError);
+}
+
+TEST_F(GraphFixture, LeafCannotOpenScopes) {
+  auto a = g.addLeaf("a", grp, noopLeaf());
+  auto m = g.addMerge("m", grp, noopLeaf());
+  EXPECT_THROW(g.pair(a, 0, m), GraphError);
+}
+
+TEST_F(GraphFixture, FlowControlRequiresPairedPort) {
+  auto s = g.addSplit("s", grp, noopLeaf());
+  EXPECT_THROW(g.setFlowControl(s, 0, FlowControlSpec{4}), GraphError);
+  auto m = g.addMerge("m", grp, noopLeaf());
+  g.pair(s, 0, m);
+  EXPECT_NO_THROW(g.setFlowControl(s, 0, FlowControlSpec{4}));
+}
+
+TEST_F(GraphFixture, MultiScopeOpenerSupported) {
+  auto s = g.addStream("s", grp, noopLeaf());
+  auto m1 = g.addMerge("m1", grp, noopLeaf());
+  auto m2 = g.addMerge("m2", grp, noopLeaf());
+  g.pair(s, 0, m1);
+  g.pair(s, 1, m2);
+  EXPECT_EQ(g.closerOf(s, 0), m1);
+  EXPECT_EQ(g.closerOf(s, 1), m2);
+  EXPECT_EQ(g.closerOf(s, 2), kNoOp);
+}
+
+// --- Deployment ---
+
+TEST(DeploymentTest, RoundRobinMapsThreads) {
+  FlowGraph g;
+  auto grp = g.addGroup("grp");
+  auto s = g.addSplit("s", grp, noopLeaf());
+  auto m = g.addMerge("m", grp, noopLeaf());
+  g.setEntry(s);
+  g.pair(s, 0, m);
+  g.connect(s, 0, m, routeTo(0));
+  g.connectOutput(m, 0);
+
+  auto d = Deployment::roundRobin(g, {5}, 2);
+  EXPECT_EQ(d.nodeCount, 2);
+  EXPECT_EQ(d.threadsIn(grp), 5);
+  EXPECT_EQ(d.nodeOf({grp, 0}), 0);
+  EXPECT_EQ(d.nodeOf({grp, 1}), 1);
+  EXPECT_EQ(d.nodeOf({grp, 4}), 0);
+  EXPECT_NO_THROW(d.validateAgainst(g));
+}
+
+TEST(DeploymentTest, BadMappingRejected) {
+  FlowGraph g;
+  auto grp = g.addGroup("grp");
+  auto s = g.addSplit("s", grp, noopLeaf());
+  auto m = g.addMerge("m", grp, noopLeaf());
+  g.setEntry(s);
+  g.pair(s, 0, m);
+  g.connect(s, 0, m, routeTo(0));
+  g.connectOutput(m, 0);
+
+  Deployment d;
+  d.nodeCount = 1;
+  d.groupNodes = {{0, 7}}; // node 7 does not exist
+  EXPECT_THROW(d.validateAgainst(g), ConfigError);
+}
+
+// --- Ledger ---
+
+TEST(LedgerTest, CompletionRequiresCloseAndAbsorbs) {
+  Ledger l;
+  auto inst = l.openInstance(0, 0);
+  l.recordEmission(inst);
+  l.recordEmission(inst);
+  EXPECT_FALSE(l.recordAbsorb(inst));
+  EXPECT_FALSE(l.closeEmitter(inst)); // 1 of 2 absorbed
+  EXPECT_TRUE(l.recordAbsorb(inst));  // completes now
+  EXPECT_TRUE(l.isComplete(inst));
+  l.erase(inst);
+  EXPECT_EQ(l.liveInstances(), 0u);
+}
+
+TEST(LedgerTest, CloseAfterAllAbsorbedCompletesImmediately) {
+  Ledger l;
+  auto inst = l.openInstance(3, 0);
+  l.recordEmission(inst);
+  EXPECT_FALSE(l.recordAbsorb(inst)); // emitter still open
+  EXPECT_TRUE(l.closeEmitter(inst));
+}
+
+TEST(LedgerTest, EmptyInstanceCloseRejected) {
+  Ledger l;
+  auto inst = l.openInstance(0, 0);
+  EXPECT_THROW(l.closeEmitter(inst), Error);
+}
+
+TEST(LedgerTest, OverAbsorbRejected) {
+  Ledger l;
+  auto inst = l.openInstance(0, 0);
+  l.recordEmission(inst);
+  l.closeEmitter(inst);
+  l.recordAbsorb(inst);
+  EXPECT_THROW(l.recordAbsorb(inst), Error);
+}
+
+TEST(LedgerTest, FlowControlTokens) {
+  Ledger l;
+  auto inst = l.openInstance(0, /*maxInFlight=*/2);
+  EXPECT_TRUE(l.canEmit(inst));
+  l.recordEmission(inst);
+  l.recordEmission(inst);
+  EXPECT_FALSE(l.canEmit(inst));
+  // Release: reports that an emitter might be unblocked.
+  EXPECT_TRUE(l.recordAbsorb(inst) == false);
+  EXPECT_TRUE(l.releaseToken(inst));
+  EXPECT_TRUE(l.canEmit(inst));
+  // A release below the limit is not an unblock event.
+  l.recordAbsorb(inst);
+  EXPECT_FALSE(l.releaseToken(inst));
+}
+
+TEST(LedgerTest, UnlimitedInstanceNeverBlocks) {
+  Ledger l;
+  auto inst = l.openInstance(0, 0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(l.canEmit(inst));
+    l.recordEmission(inst);
+  }
+  EXPECT_FALSE(l.releaseToken(inst)); // no tokens in play
+}
+
+// --- ActiveSet ---
+
+TEST(ActiveSetTest, DeactivateAndReactivate) {
+  ActiveSet s(4);
+  EXPECT_EQ(s.activeCount(), 4);
+  EXPECT_TRUE(s.setActive(2, false));
+  EXPECT_FALSE(s.setActive(2, false)); // already inactive
+  EXPECT_EQ(s.activeCount(), 3);
+  EXPECT_FALSE(s.isActive(2));
+  const auto idx = s.indices();
+  EXPECT_EQ(std::vector<std::int32_t>(idx.begin(), idx.end()),
+            (std::vector<std::int32_t>{0, 1, 3}));
+  EXPECT_TRUE(s.setActive(2, true));
+  EXPECT_EQ(s.activeCount(), 4);
+}
+
+TEST(ActiveSetTest, CannotRemoveLastThread) {
+  ActiveSet s(2);
+  s.setActive(0, false);
+  EXPECT_THROW(s.setActive(1, false), Error);
+}
+
+// --- Routing helpers ---
+
+TEST(RoutingTest, RoundRobinActiveSkipsInactive) {
+  test::Item obj;
+  RouteContext rc;
+  const std::int32_t active[] = {0, 2, 3};
+  rc.dstActive = active;
+  rc.dstGroupSize = 4;
+  auto route = roundRobinActive();
+  rc.emission = 0;
+  EXPECT_EQ(route(rc, obj), 0);
+  rc.emission = 1;
+  EXPECT_EQ(route(rc, obj), 2);
+  rc.emission = 2;
+  EXPECT_EQ(route(rc, obj), 3);
+  rc.emission = 3;
+  EXPECT_EQ(route(rc, obj), 0);
+}
+
+TEST(RoutingTest, ByKeyStaticIgnoresAllocation) {
+  test::Item obj;
+  obj.value = 7;
+  RouteContext rc;
+  rc.dstGroupSize = 4;
+  auto route = byKeyStatic([](const serial::ObjectBase& o) {
+    return static_cast<std::uint64_t>(dynamic_cast<const test::Item&>(o).value);
+  });
+  EXPECT_EQ(route(rc, obj), 3); // 7 mod 4
+}
+
+TEST(RoutingTest, SameIndexEchoesSource) {
+  test::Item obj;
+  RouteContext rc;
+  rc.srcThreadIndex = 5;
+  EXPECT_EQ(sameIndex()(rc, obj), 5);
+}
+
+} // namespace
+} // namespace dps::flow

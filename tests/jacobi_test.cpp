@@ -1,0 +1,183 @@
+// The Jacobi stencil application: neighbourhood exchange with relative
+// thread indices (paper §2), verified bit-exactly against a serial
+// reference on both engines.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "jacobi/app.hpp"
+#include "jacobi/objects.hpp"
+#include "net/profile.hpp"
+#include "runtime/engine.hpp"
+
+namespace dps::jacobi {
+namespace {
+
+core::SimConfig directConfig() {
+  core::SimConfig c;
+  c.profile = net::commodityGigabit();
+  c.mode = core::ExecutionMode::DirectExec;
+  return c;
+}
+
+core::SimConfig pdexecConfig() {
+  core::SimConfig c;
+  c.profile = net::ultraSparc440();
+  c.mode = core::ExecutionMode::Pdexec;
+  c.allocatePayloads = false;
+  return c;
+}
+
+TEST(JacobiConfigTest, Validation) {
+  JacobiConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.workers = 1;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = JacobiConfig{};
+  cfg.rows = 30; // not divisible by 4 workers
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = JacobiConfig{};
+  cfg.sweeps = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(JacobiTest, MatchesSerialReferenceExactly) {
+  JacobiConfig cfg;
+  cfg.rows = 32;
+  cfg.cols = 24;
+  cfg.sweeps = 5;
+  cfg.workers = 4;
+  core::SimEngine engine(directConfig());
+  JacobiBuild build = buildJacobi(cfg, JacobiCostModel{}, true);
+  auto result = runJacobi(engine, build);
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(verifyJacobi(cfg, result, build.workers), 0.0); // bit-exact
+}
+
+TEST(JacobiTest, ResidualDecreasesMonotonically) {
+  // Jacobi relaxation of a smooth problem converges; the reported final
+  // residual must shrink with more sweeps.
+  auto residualAfter = [&](std::int32_t sweeps) {
+    JacobiConfig cfg;
+    cfg.rows = 32;
+    cfg.cols = 32;
+    cfg.sweeps = sweeps;
+    cfg.workers = 2;
+    core::SimEngine engine(directConfig());
+    JacobiBuild build = buildJacobi(cfg, JacobiCostModel{}, true);
+    auto result = runJacobi(engine, build);
+    return dynamic_cast<const JacobiResult&>(*result.outputs.at(0)).residual;
+  };
+  const double r2 = residualAfter(2);
+  const double r8 = residualAfter(8);
+  const double r20 = residualAfter(20);
+  EXPECT_GT(r2, r8);
+  EXPECT_GT(r8, r20);
+}
+
+class JacobiSweep
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, std::int32_t, std::int32_t>> {};
+
+TEST_P(JacobiSweep, CorrectAcrossShapes) {
+  const auto [workers, sweeps, cols] = GetParam();
+  JacobiConfig cfg;
+  cfg.rows = workers * 8;
+  cfg.cols = cols;
+  cfg.sweeps = sweeps;
+  cfg.workers = workers;
+  cfg.seed = 100 + workers + sweeps;
+  core::SimEngine engine(directConfig());
+  JacobiBuild build = buildJacobi(cfg, JacobiCostModel{}, true);
+  auto result = runJacobi(engine, build);
+  EXPECT_EQ(verifyJacobi(cfg, result, build.workers), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, JacobiSweep,
+                         ::testing::Values(std::tuple{2, 1, 16}, std::tuple{2, 7, 8},
+                                           std::tuple{3, 4, 20}, std::tuple{4, 3, 16},
+                                           std::tuple{6, 2, 12}, std::tuple{8, 5, 8}));
+
+TEST(JacobiTest, RuntimeEngineMatchesReferenceToo) {
+  JacobiConfig cfg;
+  cfg.rows = 32;
+  cfg.cols = 16;
+  cfg.sweeps = 6;
+  cfg.workers = 4;
+  JacobiBuild build = buildJacobi(cfg, JacobiCostModel{}, true);
+  rt::RuntimeEngine engine;
+  auto result = engine.run(makeProgram(build));
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(verifyJacobi(cfg, result, build.workers), 0.0);
+}
+
+TEST(JacobiTest, PdexecIsDeterministicAndMarkersCount) {
+  JacobiConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 64;
+  cfg.sweeps = 10;
+  cfg.workers = 4;
+  SimDuration first{};
+  for (int i = 0; i < 2; ++i) {
+    core::SimEngine engine(pdexecConfig());
+    JacobiBuild build = buildJacobi(cfg, JacobiCostModel{}, false);
+    auto result = runJacobi(engine, build);
+    ASSERT_TRUE(result.trace);
+    EXPECT_EQ(result.trace->markersNamed("sweep").size(), 10u);
+    if (i == 0) first = result.makespan;
+    else EXPECT_EQ(result.makespan, first);
+  }
+}
+
+TEST(JacobiTest, HaloTrafficMatchesFormula) {
+  JacobiConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 32;
+  cfg.sweeps = 3;
+  cfg.workers = 4;
+  core::SimEngine engine(pdexecConfig());
+  JacobiBuild build = buildJacobi(cfg, JacobiCostModel{}, false);
+  auto result = runJacobi(engine, build);
+  // Per sweep: 2(T-1) orders + 2(T-1) halos + 2(T-1) acks + 1 token
+  //          + T compute orders + T strip-dones + 1 token/result.
+  const std::int64_t T = cfg.workers;
+  const std::int64_t perSweep = 3 * 2 * (T - 1) + 1 + 2 * T + 1;
+  EXPECT_EQ(result.counters.messages, static_cast<std::uint64_t>(perSweep * cfg.sweeps));
+}
+
+TEST(JacobiTest, MoreWorkersReduceComputeTimePerSweep) {
+  auto makespan = [&](std::int32_t workers) {
+    JacobiConfig cfg;
+    cfg.rows = 1440; // divisible by 2..6
+    cfg.cols = 1440;
+    cfg.sweeps = 6;
+    cfg.workers = workers;
+    core::SimEngine engine(pdexecConfig());
+    JacobiBuild build = buildJacobi(cfg, JacobiCostModel{}, false);
+    return toSeconds(runJacobi(engine, build).makespan);
+  };
+  const double t2 = makespan(2);
+  const double t4 = makespan(4);
+  EXPECT_LT(t4, t2);
+  EXPECT_GT(t4, t2 / 2.5); // not super-linear
+}
+
+TEST(JacobiTest, NoallocKeepsWireSizes) {
+  JacobiConfig cfg;
+  cfg.rows = 32;
+  cfg.cols = 32;
+  cfg.sweeps = 2;
+  cfg.workers = 2;
+  auto run = [&](bool allocate) {
+    core::SimConfig sc = pdexecConfig();
+    sc.allocatePayloads = allocate;
+    core::SimEngine engine(sc);
+    JacobiBuild build = buildJacobi(cfg, JacobiCostModel{}, allocate);
+    return runJacobi(engine, build);
+  };
+  auto withAlloc = run(true);
+  auto noAlloc = run(false);
+  EXPECT_EQ(withAlloc.counters.networkBytes, noAlloc.counters.networkBytes);
+  EXPECT_EQ(withAlloc.makespan, noAlloc.makespan);
+}
+
+} // namespace
+} // namespace dps::jacobi

@@ -1,0 +1,313 @@
+// The distributed LU application on the simulator: correctness under
+// direct execution (real kernels, residual check) and behaviour under
+// PDEXEC / NOALLOC (paper §5, §7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "lu/app.hpp"
+#include "lu/builder.hpp"
+#include "lu/cost_model.hpp"
+#include "net/profile.hpp"
+
+namespace dps::lu {
+namespace {
+
+LuConfig smallConfig() {
+  LuConfig cfg;
+  cfg.n = 48;
+  cfg.r = 12; // 4 levels
+  cfg.workers = 2;
+  cfg.seed = 77;
+  return cfg;
+}
+
+core::SimConfig simConfig(core::ExecutionMode mode, bool allocate = true) {
+  core::SimConfig c;
+  c.profile = net::commodityGigabit();
+  c.mode = mode;
+  c.allocatePayloads = allocate;
+  return c;
+}
+
+KernelCostModel fastModel() {
+  // A fast model keeps virtual times small in unit tests.
+  return KernelCostModel::ultraSparc440().scaled(100.0);
+}
+
+TEST(LuConfigTest, Validation) {
+  LuConfig cfg = smallConfig();
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.r = 13; // does not divide n
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = smallConfig();
+  cfg.r = cfg.n; // single level
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = smallConfig();
+  cfg.parallelMult = true;
+  cfg.subBlock = 5; // does not divide r
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(LuConfigTest, VariantNames) {
+  LuConfig cfg = smallConfig();
+  EXPECT_EQ(cfg.variantName(), "Basic");
+  cfg.pipelined = true;
+  EXPECT_EQ(cfg.variantName(), "P");
+  cfg.flowControl = true;
+  EXPECT_EQ(cfg.variantName(), "P+FC");
+  cfg.parallelMult = true;
+  EXPECT_EQ(cfg.variantName(), "P+PM+FC");
+  cfg.pipelined = false;
+  cfg.flowControl = false;
+  EXPECT_EQ(cfg.variantName(), "PM");
+}
+
+TEST(LuDirectTest, BasicGraphFactorsCorrectly) {
+  const LuConfig cfg = smallConfig();
+  core::SimEngine engine(simConfig(core::ExecutionMode::DirectExec));
+  LuBuild build = buildLu(cfg, fastModel(), /*allocate=*/true);
+  auto result = runLu(engine, build);
+  checkOutputs(cfg, result);
+  EXPECT_LT(verifyLu(cfg, result, build.workersGroup), 1e-10);
+}
+
+TEST(LuDirectTest, PipelinedGraphFactorsCorrectly) {
+  LuConfig cfg = smallConfig();
+  cfg.pipelined = true;
+  core::SimEngine engine(simConfig(core::ExecutionMode::DirectExec));
+  LuBuild build = buildLu(cfg, fastModel(), true);
+  auto result = runLu(engine, build);
+  EXPECT_LT(verifyLu(cfg, result, build.workersGroup), 1e-10);
+}
+
+TEST(LuDirectTest, FlowControlGraphFactorsCorrectly) {
+  LuConfig cfg = smallConfig();
+  cfg.pipelined = true;
+  cfg.flowControl = true;
+  cfg.fcLimit = 2;
+  core::SimEngine engine(simConfig(core::ExecutionMode::DirectExec));
+  LuBuild build = buildLu(cfg, fastModel(), true);
+  auto result = runLu(engine, build);
+  EXPECT_LT(verifyLu(cfg, result, build.workersGroup), 1e-10);
+}
+
+TEST(LuDirectTest, ParallelMultGraphFactorsCorrectly) {
+  LuConfig cfg = smallConfig();
+  cfg.parallelMult = true;
+  cfg.subBlock = 6;
+  core::SimEngine engine(simConfig(core::ExecutionMode::DirectExec));
+  LuBuild build = buildLu(cfg, fastModel(), true);
+  auto result = runLu(engine, build);
+  EXPECT_LT(verifyLu(cfg, result, build.workersGroup), 1e-10);
+}
+
+TEST(LuDirectTest, AllVariantsCombinedFactorCorrectly) {
+  LuConfig cfg = smallConfig();
+  cfg.pipelined = true;
+  cfg.flowControl = true;
+  cfg.fcLimit = 3;
+  cfg.parallelMult = true;
+  cfg.subBlock = 6;
+  core::SimEngine engine(simConfig(core::ExecutionMode::DirectExec));
+  LuBuild build = buildLu(cfg, fastModel(), true);
+  auto result = runLu(engine, build);
+  EXPECT_LT(verifyLu(cfg, result, build.workersGroup), 1e-10);
+}
+
+TEST(LuDirectTest, MoreWorkersStillCorrect) {
+  LuConfig cfg = smallConfig();
+  cfg.workers = 4;
+  cfg.r = 8; // 6 levels
+  cfg.n = 48;
+  core::SimEngine engine(simConfig(core::ExecutionMode::DirectExec));
+  LuBuild build = buildLu(cfg, fastModel(), true);
+  auto result = runLu(engine, build);
+  EXPECT_LT(verifyLu(cfg, result, build.workersGroup), 1e-10);
+}
+
+TEST(LuPdexecTest, CompletesWithoutKernels) {
+  const LuConfig cfg = smallConfig();
+  core::SimEngine engine(simConfig(core::ExecutionMode::Pdexec));
+  LuBuild build = buildLu(cfg, KernelCostModel::ultraSparc440(), true);
+  auto result = runLu(engine, build);
+  checkOutputs(cfg, result);
+  EXPECT_GT(result.makespan, SimDuration::zero());
+}
+
+TEST(LuPdexecTest, NoallocCompletesAndMatchesPrediction) {
+  const LuConfig cfg = smallConfig();
+  const auto model = KernelCostModel::ultraSparc440();
+
+  core::SimEngine e1(simConfig(core::ExecutionMode::Pdexec, /*allocate=*/true));
+  LuBuild b1 = buildLu(cfg, model, true);
+  auto r1 = runLu(e1, b1);
+
+  core::SimEngine e2(simConfig(core::ExecutionMode::Pdexec, /*allocate=*/false));
+  LuBuild b2 = buildLu(cfg, model, false);
+  auto r2 = runLu(e2, b2);
+
+  // NOALLOC must not change the predicted time at all: payload sizes are
+  // identical (phantom) and charges are identical.
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.counters.networkBytes, r2.counters.networkBytes);
+}
+
+TEST(LuPdexecTest, DeterministicAcrossRuns) {
+  const LuConfig cfg = smallConfig();
+  const auto model = KernelCostModel::ultraSparc440();
+  SimDuration first{};
+  for (int i = 0; i < 2; ++i) {
+    core::SimEngine engine(simConfig(core::ExecutionMode::Pdexec, false));
+    LuBuild build = buildLu(cfg, model, false);
+    auto r = runLu(engine, build);
+    if (i == 0) first = r.makespan;
+    else EXPECT_EQ(r.makespan, first);
+  }
+}
+
+TEST(LuPdexecTest, IterationMarkersCoverAllLevels) {
+  const LuConfig cfg = smallConfig();
+  core::SimEngine engine(simConfig(core::ExecutionMode::Pdexec, false));
+  LuBuild build = buildLu(cfg, KernelCostModel::ultraSparc440(), false);
+  auto result = runLu(engine, build);
+  ASSERT_TRUE(result.trace);
+  const auto markers = result.trace->markersNamed("iteration");
+  ASSERT_EQ(markers.size(), static_cast<std::size_t>(cfg.levels() - 1));
+  for (std::size_t i = 0; i < markers.size(); ++i) {
+    EXPECT_EQ(markers[i].value, static_cast<std::int64_t>(i + 1));
+    if (i > 0) {
+      EXPECT_GT(markers[i].time, markers[i - 1].time);
+    }
+  }
+}
+
+TEST(LuPdexecTest, MessageCountMatchesAnalyticFormula) {
+  const LuConfig cfg = smallConfig(); // L = 4 levels
+  core::SimEngine engine(simConfig(core::ExecutionMode::Pdexec, false));
+  LuBuild build = buildLu(cfg, KernelCostModel::ultraSparc440(), false);
+  auto result = runLu(engine, build);
+  const std::int64_t L = cfg.levels();
+  // Per level l (0..L-2), m = L-1-l: m trsm + m T12 + m^2 mult + m^2 results
+  // + m^2 subnotify; plus per level l: (l+1) flips + (l+1) notifies; plus
+  // L-1 LevelDone + 1 Factored outputs.
+  std::int64_t expected = 0;
+  for (std::int64_t l = 0; l + 1 < L; ++l) {
+    const std::int64_t m = L - 1 - l;
+    expected += 2 * m + 3 * m * m;
+    expected += 2 * (l + 1); // flips + notifies
+  }
+  expected += L; // outputs
+  EXPECT_EQ(result.counters.messages, static_cast<std::uint64_t>(expected));
+}
+
+TEST(LuPdexecTest, SerialCostDominatedByGemmBudget) {
+  // The total charged work should be close to 2/3 n^3 / gemm rate.
+  LuConfig cfg = smallConfig();
+  cfg.n = 96;
+  cfg.r = 24;
+  const auto model = KernelCostModel::ultraSparc440();
+  core::SimEngine engine(simConfig(core::ExecutionMode::Pdexec, false));
+  LuBuild build = buildLu(cfg, model, false);
+  auto result = runLu(engine, build);
+  ASSERT_TRUE(result.trace);
+  const double work = toSeconds(result.trace->totalWork());
+  const double gemmOnly =
+      2.0 / 3.0 * std::pow(static_cast<double>(cfg.n), 3) / model.gemmFlopsPerSec;
+  EXPECT_GT(work, gemmOnly * 0.8);
+  EXPECT_LT(work, gemmOnly * 2.5);
+}
+
+TEST(LuFlowControlTest, FlowControlStartsLaterIterationsEarlier) {
+  // Paper Fig. 6: "Improved interleaving thanks to the flow control
+  // mechanism enables iterations 2 and 3 to be started earlier."  Without
+  // FC the iteration-1 multiplication requests flood the worker queues and
+  // iteration-2 requests wait behind them.
+  LuConfig cfg;
+  cfg.n = 2592 / 4;
+  cfg.r = 81; // 8 levels
+  cfg.workers = 4;
+  cfg.pipelined = true;
+
+  auto firstMultStartOfLevel1 = [&](bool fc) {
+    auto c = cfg;
+    c.flowControl = fc;
+    c.fcLimit = 4;
+    core::SimConfig sc;
+    sc.profile = net::ultraSparc440();
+    sc.mode = core::ExecutionMode::Pdexec;
+    sc.allocatePayloads = false;
+    core::SimEngine engine(sc);
+    LuBuild build = buildLu(c, KernelCostModel::ultraSparc440(), false);
+    auto result = runLu(engine, build);
+    SimTime first = simEpoch() + result.makespan;
+    for (const auto& s : result.trace->steps()) {
+      if (s.kind != trace::StepKind::Input) continue;
+      if (build.graph->op(s.op).name == "mult_1" && s.start < first) first = s.start;
+    }
+    return first;
+  };
+
+  const SimTime withFc = firstMultStartOfLevel1(true);
+  const SimTime withoutFc = firstMultStartOfLevel1(false);
+  EXPECT_LT(withFc, withoutFc);
+}
+
+TEST(LuSamplerTest, FirstNInstancesSamplingTracksDirectExecution) {
+  // Paper §4: measure the first n instances of an operation, reuse the
+  // average for the rest.  Predictions must track full direct execution.
+  LuConfig cfg;
+  cfg.n = 96;
+  cfg.r = 16; // 6 levels -> plenty of repeated kernel instances
+  cfg.workers = 2;
+  const auto model = KernelCostModel::ultraSparc440();
+
+  core::SimEngine direct(simConfig(core::ExecutionMode::DirectExec));
+  LuBuild db = buildLu(cfg, model, true);
+  const double tDirect = toSeconds(runLu(direct, db).makespan);
+
+  auto sampler = std::make_shared<KernelSampler>(3);
+  core::SimEngine sampled(simConfig(core::ExecutionMode::Pdexec));
+  LuBuild sb = buildLu(cfg, model, true, sampler);
+  auto result = runLu(sampled, sb);
+  const double tSampled = toSeconds(result.makespan);
+
+  EXPECT_GT(sampler->sampledCount(), 0u);
+  EXPECT_GT(sampler->reusedCount(), sampler->sampledCount())
+      << "most instances should reuse the measured average";
+  EXPECT_NEAR(tSampled, tDirect, tDirect * 0.35)
+      << "sampled prediction should track direct execution on the same host";
+}
+
+TEST(LuSamplerTest, SamplingRequiresAllocation) {
+  LuConfig cfg = smallConfig();
+  EXPECT_THROW(buildLu(cfg, KernelCostModel::ultraSparc440(), /*allocate=*/false,
+                       std::make_shared<KernelSampler>(2)),
+               Error);
+}
+
+TEST(LuScalingTest, MoreWorkersReduceMakespanAtPaperScale) {
+  LuConfig cfg;
+  cfg.n = 648;
+  cfg.r = 81; // 8 levels
+  cfg.seed = 3;
+  const auto model = KernelCostModel::ultraSparc440();
+
+  auto makespan = [&](std::int32_t workers) {
+    cfg.workers = workers;
+    core::SimEngine engine(simConfig(core::ExecutionMode::Pdexec, false));
+    LuBuild build = buildLu(cfg, model, false);
+    return toSeconds(runLu(engine, build).makespan);
+  };
+  const double t1 = makespan(1);
+  const double t2 = makespan(2);
+  const double t4 = makespan(4);
+  EXPECT_LT(t2, t1);
+  EXPECT_LT(t4, t2);
+  // Efficiency decreases with scale (communication overheads).
+  EXPECT_GT(t4, t1 / 4.0);
+}
+
+} // namespace
+} // namespace dps::lu

@@ -1,0 +1,37 @@
+// Heap accounting used by the Table 1 memory column.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "support/memtrack.hpp"
+
+namespace dps::memtrack {
+namespace {
+
+TEST(MemtrackTest, ActiveWhenLinked) { EXPECT_TRUE(active()); }
+
+TEST(MemtrackTest, TracksAllocationAndRelease) {
+  const std::size_t before = currentBytes();
+  {
+    auto buf = std::make_unique<std::vector<double>>(1 << 16); // 512 KiB
+    EXPECT_GE(currentBytes(), before + (1u << 16) * sizeof(double));
+  }
+  EXPECT_LE(currentBytes(), before + 4096); // back down (modulo noise)
+}
+
+TEST(MemtrackTest, PeakHoldsHighWaterMark) {
+  resetPeak();
+  const std::size_t base = peakBytes();
+  {
+    std::vector<char> big(8 << 20); // 8 MiB
+    EXPECT_GE(peakBytes(), base + (8u << 20));
+  }
+  // Peak persists after the allocation is gone.
+  EXPECT_GE(peakBytes(), base + (8u << 20));
+  resetPeak();
+  EXPECT_LT(peakBytes(), base + (8u << 20));
+}
+
+} // namespace
+} // namespace dps::memtrack

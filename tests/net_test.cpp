@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "des/scheduler.hpp"
+#include "net/network.hpp"
+#include "net/profile.hpp"
+
+namespace dps::net {
+namespace {
+
+StarNetwork::Config basicConfig() {
+  StarNetwork::Config c;
+  c.latency = milliseconds(1);
+  c.bytesPerSec = 1e6; // 1 MB/s -> 1 ms per KB
+  c.localDelivery = SimDuration::zero();
+  return c;
+}
+
+TEST(NetworkTest, SingleTransferIsLatencyPlusBytesOverBandwidth) {
+  des::Scheduler sched;
+  StarNetwork net(sched, basicConfig(), 3);
+  SimTime delivered{};
+  net.send(0, 1, 2000, [&] { delivered = sched.now(); });
+  sched.run();
+  // 1 ms latency + 2000 B / 1e6 B/s = 2 ms -> 3 ms total.
+  EXPECT_EQ(delivered, simEpoch() + milliseconds(3));
+  EXPECT_EQ(net.bytesSent(), 2000u);
+  EXPECT_EQ(net.transfersStarted(), 1u);
+}
+
+TEST(NetworkTest, UncontendedTimeHelperMatches) {
+  des::Scheduler sched;
+  StarNetwork net(sched, basicConfig(), 2);
+  EXPECT_EQ(net.uncontendedTime(2000), milliseconds(3));
+}
+
+TEST(NetworkTest, LocalDeliveryBypassesNetwork) {
+  des::Scheduler sched;
+  auto cfg = basicConfig();
+  cfg.localDelivery = microseconds(5);
+  StarNetwork net(sched, cfg, 2);
+  SimTime delivered{};
+  net.send(1, 1, 1 << 20, [&] { delivered = sched.now(); });
+  sched.run();
+  EXPECT_EQ(delivered, simEpoch() + microseconds(5));
+  EXPECT_EQ(net.bytesSent(), 0u); // local hops do not count as wire bytes
+}
+
+TEST(NetworkTest, TwoOutgoingTransfersShareTheSenderLink) {
+  des::Scheduler sched;
+  StarNetwork net(sched, basicConfig(), 3);
+  SimTime d1{}, d2{};
+  // Same start: both drain at half rate until one finishes.
+  net.send(0, 1, 1000, [&] { d1 = sched.now(); });
+  net.send(0, 2, 1000, [&] { d2 = sched.now(); });
+  sched.run();
+  // Latency 1 ms, then both share 1 MB/s -> 0.5 MB/s each -> 2 ms drain.
+  EXPECT_EQ(d1, simEpoch() + milliseconds(3));
+  EXPECT_EQ(d2, simEpoch() + milliseconds(3));
+}
+
+TEST(NetworkTest, TwoIncomingTransfersShareTheReceiverLink) {
+  des::Scheduler sched;
+  StarNetwork net(sched, basicConfig(), 3);
+  SimTime d1{}, d2{};
+  net.send(1, 0, 1000, [&] { d1 = sched.now(); });
+  net.send(2, 0, 1000, [&] { d2 = sched.now(); });
+  sched.run();
+  EXPECT_EQ(d1, simEpoch() + milliseconds(3));
+  EXPECT_EQ(d2, simEpoch() + milliseconds(3));
+}
+
+TEST(NetworkTest, DisjointPairsDoNotContend) {
+  des::Scheduler sched;
+  StarNetwork net(sched, basicConfig(), 4);
+  SimTime d1{}, d2{};
+  net.send(0, 1, 1000, [&] { d1 = sched.now(); });
+  net.send(2, 3, 1000, [&] { d2 = sched.now(); });
+  sched.run();
+  EXPECT_EQ(d1, simEpoch() + milliseconds(2));
+  EXPECT_EQ(d2, simEpoch() + milliseconds(2));
+}
+
+TEST(NetworkTest, RateRecomputesWhenTransferFinishes) {
+  des::Scheduler sched;
+  StarNetwork net(sched, basicConfig(), 3);
+  SimTime dSmall{}, dBig{};
+  net.send(0, 1, 500, [&] { dSmall = sched.now(); });
+  net.send(0, 2, 1500, [&] { dBig = sched.now(); });
+  sched.run();
+  // Shared phase: both at 0.5 MB/s.  Small (500 B) finishes after 1 ms of
+  // draining (at t=2ms).  Big has 1000 B left, now at full rate: +1 ms.
+  EXPECT_EQ(dSmall, simEpoch() + milliseconds(2));
+  EXPECT_EQ(dBig, simEpoch() + milliseconds(3));
+}
+
+TEST(NetworkTest, StaggeredStartSharesOnlyTheOverlap) {
+  des::Scheduler sched;
+  StarNetwork net(sched, basicConfig(), 3);
+  SimTime d1{};
+  net.send(0, 1, 2000, [&] { d1 = sched.now(); });
+  // Second transfer enters its drain phase at t=2ms (sent at 1ms + latency).
+  sched.runUntil(simEpoch() + milliseconds(1));
+  net.send(0, 2, 1000, [] {});
+  sched.run();
+  // First: drains alone 1 ms (t in [1,2]), 1000 B left; shares 0.5 MB/s
+  // from t=2 -> needs 2 more ms -> t=4ms.
+  EXPECT_EQ(d1, simEpoch() + milliseconds(4));
+}
+
+TEST(NetworkTest, FairShareOffGivesFullBandwidthToAll) {
+  des::Scheduler sched;
+  auto cfg = basicConfig();
+  cfg.fairShare = false;
+  StarNetwork net(sched, cfg, 3);
+  SimTime d1{}, d2{};
+  net.send(0, 1, 1000, [&] { d1 = sched.now(); });
+  net.send(0, 2, 1000, [&] { d2 = sched.now(); });
+  sched.run();
+  EXPECT_EQ(d1, simEpoch() + milliseconds(2));
+  EXPECT_EQ(d2, simEpoch() + milliseconds(2));
+}
+
+TEST(NetworkTest, BandwidthEfficiencyDeratesThroughput) {
+  des::Scheduler sched;
+  auto cfg = basicConfig();
+  cfg.bandwidthEfficiency = 0.5;
+  StarNetwork net(sched, cfg, 2);
+  SimTime d{};
+  net.send(0, 1, 1000, [&] { d = sched.now(); });
+  sched.run();
+  EXPECT_EQ(d, simEpoch() + milliseconds(3)); // 1 + 1000/(0.5 MB/s) = 3 ms
+}
+
+TEST(NetworkTest, ExtraLatencyHookApplies) {
+  des::Scheduler sched;
+  auto cfg = basicConfig();
+  cfg.extraLatency = [](std::size_t bytes) {
+    return microseconds(static_cast<std::int64_t>(bytes / 100));
+  };
+  StarNetwork net(sched, cfg, 2);
+  SimTime d{};
+  net.send(0, 1, 1000, [&] { d = sched.now(); });
+  sched.run();
+  // 1 ms latency + 10 us hook + 1 ms drain.
+  EXPECT_EQ(d, simEpoch() + milliseconds(2) + microseconds(10));
+}
+
+TEST(NetworkTest, ActivityObserverSeesDrainPhases) {
+  des::Scheduler sched;
+  StarNetwork net(sched, basicConfig(), 3);
+  int maxOut = 0;
+  net.setActivityObserver([&](NodeIndex node, int in, int out) {
+    (void)in;
+    if (node == 0) maxOut = std::max(maxOut, out);
+  });
+  net.send(0, 1, 1000, [] {});
+  net.send(0, 2, 1000, [] {});
+  sched.run();
+  EXPECT_EQ(maxOut, 2);
+  EXPECT_EQ(net.activeOutgoing(0), 0);
+  EXPECT_EQ(net.activeIncoming(1), 0);
+}
+
+TEST(NetworkTest, ManyToOneConvergecastScalesShare) {
+  des::Scheduler sched;
+  StarNetwork net(sched, basicConfig(), 5);
+  std::vector<SimTime> done(4);
+  for (int s = 1; s <= 4; ++s)
+    net.send(s, 0, 1000, [&, s] { done[s - 1] = sched.now(); });
+  sched.run();
+  // Four equal transfers into one link: 4 ms drain for everyone.
+  for (const auto& t : done) EXPECT_EQ(t, simEpoch() + milliseconds(5));
+}
+
+TEST(ProfileTest, PresetsAreSane) {
+  for (const auto& p : {ultraSparc440(), pentium4_2800(), commodityGigabit()}) {
+    EXPECT_GT(p.bandwidthBytesPerSec, 0);
+    EXPECT_GT(p.latency, SimDuration::zero());
+    EXPECT_GT(p.cpuPerIncomingTransfer, p.cpuPerOutgoingTransfer)
+        << "receiving must cost more CPU than sending (paper §4)";
+    EXPECT_GT(p.computeScale, 0);
+  }
+  // Table 1 portability: the Pentium 4 is ~6.5x faster.
+  EXPECT_NEAR(pentium4_2800().computeScale, 1.0 / 6.5, 1e-9);
+}
+
+} // namespace
+} // namespace dps::net

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/histogram.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/time.hpp"
+
+namespace dps {
+namespace {
+
+TEST(TimeTest, ConstructorsAndConversions) {
+  EXPECT_EQ(microseconds(1).count(), 1000);
+  EXPECT_EQ(milliseconds(2).count(), 2000000);
+  EXPECT_EQ(seconds(1.5).count(), 1500000000);
+  EXPECT_DOUBLE_EQ(toSeconds(seconds(2.25)), 2.25);
+  EXPECT_DOUBLE_EQ(toMillis(milliseconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(toMicros(microseconds(7)), 7.0);
+}
+
+TEST(TimeTest, ScaleRounds) {
+  EXPECT_EQ(scale(nanoseconds(10), 0.25).count(), 3); // 2.5 rounds to 3
+  EXPECT_EQ(scale(milliseconds(4), 0.5), milliseconds(2));
+}
+
+TEST(TimeTest, FormatAdaptsUnits) {
+  EXPECT_EQ(formatDuration(seconds(62.31)), "62.310s");
+  EXPECT_EQ(formatDuration(milliseconds(4)), "4.000ms");
+  EXPECT_EQ(formatDuration(microseconds(9)), "9.000us");
+  EXPECT_EQ(formatDuration(nanoseconds(42)), "42ns");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BelowIsUnbiasedEnough) {
+  Rng r(11);
+  std::vector<int> counts(5, 0);
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 5, kDraws / 50);
+}
+
+TEST(RngTest, NormalMomentsAreSane) {
+  Rng r(13);
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a(), child());
+}
+
+TEST(StatsTest, BasicMoments) {
+  OnlineStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(StatsTest, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(StatsTest, PercentileRejectsEmpty) {
+  EXPECT_THROW(percentile({}, 50), Error);
+}
+
+TEST(StatsTest, RelativeErrorAndWithin) {
+  EXPECT_DOUBLE_EQ(relativeError(105, 100), 0.05);
+  EXPECT_DOUBLE_EQ(relativeError(95, 100), -0.05);
+  std::vector<double> errs{0.01, -0.03, 0.08, -0.2};
+  EXPECT_DOUBLE_EQ(fractionWithin(errs, 0.05), 0.5);
+  EXPECT_DOUBLE_EQ(fractionWithin(errs, 0.1), 0.75);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(-0.1, 0.1, 10); // bins of width 0.02
+  h.add(0.0);                 // bin 5
+  h.add(-0.099);              // bin 0
+  h.add(0.5);                 // overflow -> last bin
+  h.add(-0.5);                // underflow -> first bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(HistogramTest, ModeAndRender) {
+  Histogram h(0, 10, 5);
+  h.addAll({1, 1, 1, 7});
+  EXPECT_EQ(h.modeBin(), 0u);
+  const std::string out = h.render(20);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(TableTest, AlignmentAndFormatting) {
+  Table t("My table");
+  t.header({"name", "value"});
+  t.row({"a", Table::num(1.5, 1)});
+  t.row({"long-name", Table::pct(0.714, 1)});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("My table"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("71.4%"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), Error);
+}
+
+TEST(CliTest, ParsesForms) {
+  // `--key value` is greedy: a bare token after an option becomes its
+  // value, so positionals must precede options or use `--key=value`.
+  const char* argv[] = {"prog", "pos", "--alpha=3", "--beta", "4.5", "--gamma"};
+  Cli cli(6, argv);
+  EXPECT_EQ(cli.integer("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.real("beta", 0.0), 4.5);
+  EXPECT_TRUE(cli.flag("gamma"));
+  ASSERT_EQ(cli.positionals().size(), 1u);
+  EXPECT_EQ(cli.positionals()[0], "pos");
+  cli.finish();
+}
+
+TEST(CliTest, UnknownOptionFailsFinish) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.finish(), ConfigError);
+}
+
+TEST(CliTest, BadIntegerThrows) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.integer("n", 0), ConfigError);
+}
+
+TEST(CliTest, HelpRequested) {
+  const char* argv[] = {"prog", "--help"};
+  Cli cli(2, argv);
+  EXPECT_TRUE(cli.helpRequested());
+  cli.str("opt", "default", "an option");
+  EXPECT_NE(cli.helpText().find("--opt"), std::string::npos);
+}
+
+TEST(ErrorTest, HierarchyAndMessages) {
+  try {
+    throw GraphError("bad wiring");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("graph: bad wiring"), std::string::npos);
+  }
+  EXPECT_THROW(DPS_CHECK(false, "boom"), InternalError);
+}
+
+} // namespace
+} // namespace dps
