@@ -9,24 +9,43 @@
 #include <map>
 
 #include "bench_common.hpp"
+#include "support/cli.hpp"
 
 using namespace dps;
 
-int main() {
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  // --smoke shrinks the sweep (1296^2 matrix, coarse granularities only) so CI
+  // can exercise the full bench pipeline in well under a second.
+  const bool smoke = cli.flag("smoke", "reduced-size CI run; skips paper-scale shape checks");
+  if (cli.helpRequested()) {
+    std::printf("%s", cli.helpText().c_str());
+    return 0;
+  }
+  cli.finish();
+
+  const std::int32_t n = smoke ? 1296 : 2592;
+  auto lu = [&](std::int32_t r, std::int32_t workers) {
+    auto cfg = bench::paperLu(r, workers);
+    cfg.n = n;
+    return cfg;
+  };
+
   exp::ScenarioRunner runner(bench::paperSettings());
-  const auto reference = runner.run(bench::paperLu(324, 8), {}, 10);
-  std::printf("Figure 10 reproduction: LU 2592^2, 8 nodes, reference Basic r=324\n");
-  std::printf("reference: measured %.1fs, predicted %.1fs (paper: 84.2s)\n\n",
+  const auto reference = runner.run(lu(324, 8), {}, 10);
+  std::printf("Figure 10 reproduction: LU %d^2, 8 nodes, reference Basic r=324\n", n);
+  std::printf("reference: measured %.1fs, predicted %.1fs (paper: 84.2s at 2592^2)\n\n",
               reference.measuredSec, reference.predictedSec);
 
-  const std::vector<std::int32_t> sizes{81, 108, 162, 216, 324};
+  const std::vector<std::int32_t> sizes = smoke ? std::vector<std::int32_t>{162, 216, 324}
+                                                : std::vector<std::int32_t>{81, 108, 162, 216, 324};
   const std::vector<std::string> variants{"Basic", "P", "P+FC"};
   // improvement[variant][r] for measured and predicted legs.
   std::map<std::string, std::map<std::int32_t, std::pair<double, double>>> curve;
 
   for (std::int32_t r : sizes) {
     for (const auto& v : variants) {
-      auto cfg = bench::paperLu(r, 8);
+      auto cfg = lu(r, 8);
       cfg.pipelined = v != "Basic";
       cfg.flowControl = v == "P+FC";
       const auto obs = runner.run(cfg, {}, 10);
@@ -53,11 +72,15 @@ int main() {
     if (curve["P+FC"][r].first + 1e-9 < curve["P"][r].first) fcBeatsP = false;
   }
   bench::check(pBeatsBasic, "pipelining beats the basic graph at every granularity");
-  bench::check(fcBeatsP, "flow control never hurts pipelining");
-  bench::check(curve["Basic"][81].first < 0.9,
-               "basic graph degrades sharply at fine granularity (r=81)");
-  bench::check(curve["P+FC"][108].first > 1.5,
-               "P+FC reaches a large improvement at fine granularity");
+  // The remaining claims are paper-scale shapes (2592^2); at --smoke size flow
+  // control can lose at coarse granularity, so only the full run asserts them.
+  if (!smoke) {
+    bench::check(fcBeatsP, "flow control never hurts pipelining");
+    bench::check(curve["Basic"][81].first < 0.9,
+                 "basic graph degrades sharply at fine granularity (r=81)");
+    bench::check(curve["P+FC"][108].first > 1.5,
+                 "P+FC reaches a large improvement at fine granularity");
+  }
   // Optimum of P+FC sits at finer granularity than the Basic optimum.
   auto argmax = [&](const std::string& v) {
     std::int32_t best = sizes.front();

@@ -1,0 +1,60 @@
+# Shared compile-option interface targets.
+#
+#   dps::common    — include root + sanitizer flags; every target links this
+#   dps::warnings  — -Wall -Wextra (+ -Werror unless DPS_WERROR=OFF); src/ layers only
+#
+# Tests/bench/examples link dps::common but use the relaxed warning set below
+# so fixture-heavy code is not held to -Werror.
+
+add_library(dps_common INTERFACE)
+add_library(dps::common ALIAS dps_common)
+target_include_directories(dps_common INTERFACE "${CMAKE_CURRENT_SOURCE_DIR}/src")
+
+if(DPS_SANITIZE)
+  string(REPLACE "," ";" _dps_san_list "${DPS_SANITIZE}")
+  foreach(_san IN LISTS _dps_san_list)
+    target_compile_options(dps_common INTERFACE "-fsanitize=${_san}" -fno-omit-frame-pointer)
+    target_link_options(dps_common INTERFACE "-fsanitize=${_san}")
+  endforeach()
+endif()
+
+add_library(dps_warnings INTERFACE)
+add_library(dps::warnings ALIAS dps_warnings)
+target_compile_options(dps_warnings INTERFACE -Wall -Wextra)
+if(DPS_WERROR)
+  target_compile_options(dps_warnings INTERFACE -Werror)
+endif()
+
+add_library(dps_warnings_relaxed INTERFACE)
+add_library(dps::warnings_relaxed ALIAS dps_warnings_relaxed)
+target_compile_options(dps_warnings_relaxed INTERFACE -Wall)
+
+# dps_add_layer(<name> DEPS <layer...>)
+#
+# Declares the static library for one src/<name> layer from the .cpp files in
+# the current directory and records the architecture edges explicitly: a layer
+# may only link the layers named in DEPS.  Header-only layers get an INTERFACE
+# target so the dependency edge still exists in the graph.
+function(dps_add_layer name)
+  cmake_parse_arguments(ARG "" "" "DEPS;SOURCES;EXCLUDE" ${ARGN})
+  if(NOT ARG_SOURCES)
+    file(GLOB ARG_SOURCES CONFIGURE_DEPENDS "${CMAKE_CURRENT_SOURCE_DIR}/*.cpp")
+  endif()
+  foreach(_ex IN LISTS ARG_EXCLUDE)
+    list(REMOVE_ITEM ARG_SOURCES "${CMAKE_CURRENT_SOURCE_DIR}/${_ex}")
+  endforeach()
+
+  if(ARG_SOURCES)
+    add_library(dps_${name} STATIC ${ARG_SOURCES})
+    target_link_libraries(dps_${name} PRIVATE dps::warnings)
+    set(_scope PUBLIC)
+  else()
+    add_library(dps_${name} INTERFACE)
+    set(_scope INTERFACE)
+  endif()
+  add_library(dps::${name} ALIAS dps_${name})
+  target_link_libraries(dps_${name} ${_scope} dps::common)
+  foreach(_dep IN LISTS ARG_DEPS)
+    target_link_libraries(dps_${name} ${_scope} dps::${_dep})
+  endforeach()
+endfunction()

@@ -265,7 +265,10 @@ JacobiBuild buildJacobi(const JacobiConfig& cfg, const JacobiCostModel& model, b
   flow::OpId prevBarrier = flow::kNoOp; // emits the phase token on port 0
 
   for (std::int32_t s = 0; s < cfg.sweeps; ++s) {
-    const std::string suffix = "_" + std::to_string(s);
+    // Built via append: GCC 12's -Wrestrict misfires on `"_" + std::to_string(s)`
+    // at -O2 (GCC PR 105651).
+    std::string suffix = "_";
+    suffix += std::to_string(s);
 
     const auto exSplit =
         g.addSplit("exchange" + suffix, build.master, makeOp<ExchangeSplit>(env, s));

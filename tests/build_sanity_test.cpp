@@ -1,0 +1,47 @@
+// Build-system sanity: asserts the layer-dependency invariants the CMake
+// superstructure encodes.  This TU includes only support/ and des/ headers and
+// links only dps::des (+ its transitive dps::support) — if the DES kernel ever
+// grows an include on a higher layer (core, flow, apps), this target stops
+// compiling or linking, which is exactly the regression we want to catch.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "des/scheduler.hpp"
+#include "support/time.hpp"
+
+namespace dps::des {
+namespace {
+
+// The scheduler must stay a self-contained kernel: value-constructible without
+// any engine/app context, and non-copyable (it owns the event queue).
+static_assert(std::is_default_constructible_v<Scheduler>);
+static_assert(!std::is_copy_constructible_v<Scheduler>);
+static_assert(!std::is_copy_assignable_v<Scheduler>);
+
+TEST(BuildSanityTest, SchedulerUsableWithoutAppLayers) {
+  Scheduler sched;
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.pendingCount(), 0u);
+  EXPECT_EQ(sched.now(), simEpoch());
+}
+
+TEST(BuildSanityTest, RunOnEmptyQueueReturnsZero) {
+  Scheduler sched;
+  EXPECT_EQ(sched.run(), 0u);
+  EXPECT_EQ(sched.firedCount(), 0u);
+  // The clock does not move when nothing fires.
+  EXPECT_EQ(sched.now(), simEpoch());
+}
+
+TEST(BuildSanityTest, RunCountsFiredEvents) {
+  Scheduler sched;
+  int fired = 0;
+  sched.scheduleAfter(SimDuration{}, [&] { ++fired; });
+  EXPECT_EQ(sched.run(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.run(), 0u); // queue drained; second run is a no-op
+}
+
+} // namespace
+} // namespace dps::des

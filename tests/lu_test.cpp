@@ -11,6 +11,20 @@
 #include "lu/cost_model.hpp"
 #include "net/profile.hpp"
 
+// Sanitizer instrumentation skews host-measured kernel timings (allocation
+// poisoning makes the sampled first instances unrepresentative), so the
+// calibration-accuracy assertion below is skipped when ASan is active.
+#if defined(__SANITIZE_ADDRESS__)
+#define DPS_ASAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DPS_ASAN_ACTIVE 1
+#endif
+#endif
+#ifndef DPS_ASAN_ACTIVE
+#define DPS_ASAN_ACTIVE 0
+#endif
+
 namespace dps::lu {
 namespace {
 
@@ -276,6 +290,9 @@ TEST(LuSamplerTest, FirstNInstancesSamplingTracksDirectExecution) {
   EXPECT_GT(sampler->sampledCount(), 0u);
   EXPECT_GT(sampler->reusedCount(), sampler->sampledCount())
       << "most instances should reuse the measured average";
+  if (DPS_ASAN_ACTIVE) {
+    GTEST_SKIP() << "host-timing calibration is not meaningful under sanitizers";
+  }
   EXPECT_NEAR(tSampled, tDirect, tDirect * 0.35)
       << "sampled prediction should track direct execution on the same host";
 }
