@@ -7,13 +7,51 @@
 // against the high-fidelity reference (which always models both).
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
 using namespace dps;
 
-int main() {
-  exp::ScenarioRunner runner(bench::paperSettings());
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto opts = bench::runOptions(cli);
+  if (cli.helpRequested()) {
+    std::printf("%s", cli.helpText().c_str());
+    return 0;
+  }
+  cli.finish();
+
+  const std::vector<std::int32_t> rs{81, 108};
+  exp::Campaign campaign(bench::paperSettings());
+  std::vector<lu::LuConfig> cfgs;
+  std::vector<std::size_t> obsIdx;
+  for (std::int32_t r : rs) {
+    auto cfg = bench::paperLu(r, 8);
+    cfg.pipelined = true;
+    cfg.flowControl = true;
+    obsIdx.push_back(campaign.add(cfg, {}, /*fidelitySeed=*/22));
+    cfgs.push_back(cfg);
+  }
+  // One shared caller-participates pool serves the campaign and the
+  // ablated legs.
+  ThreadPool pool(bench::poolWorkers(opts));
+  const auto result = campaign.run(pool);
+
+  // Ablated predictor legs (two per configuration), fanned out as one batch.
+  auto noCommCfg = campaign.runner().predictorConfig();
+  noCommCfg.commCpuOverhead = false;
+  auto noShareCfg = campaign.runner().predictorConfig();
+  noShareCfg.cpuSharing = false;
+  std::vector<double> tNoComm(cfgs.size()), tNoShare(cfgs.size());
+  parallelFor(pool, cfgs.size() * 2, [&](std::size_t task) {
+    const std::size_t i = task / 2;
+    const auto& cfg = cfgs[i];
+    if (task % 2 == 0)
+      tNoComm[i] = toSeconds(campaign.runner().runOne(cfg, false, {}, 22, noCommCfg).makespan);
+    else
+      tNoShare[i] = toSeconds(campaign.runner().runOne(cfg, false, {}, 22, noShareCfg).makespan);
+  });
 
   std::printf("Ablation: CPU sharing / communication CPU overhead\n\n");
   Table t;
@@ -21,30 +59,18 @@ int main() {
             "err full", "err no-comm", "err no-share"});
 
   double worstFull = 0, worstNoComm = 0, worstNoShare = 0;
-  for (std::int32_t r : {81, 108}) {
-    auto cfg = bench::paperLu(r, 8);
-    cfg.pipelined = true;
-    cfg.flowControl = true;
-
-    const auto obs = runner.run(cfg, {}, 22);
-
-    auto noCommCfg = runner.predictorConfig();
-    noCommCfg.commCpuOverhead = false;
-    const double tNoComm = toSeconds(runner.runOne(cfg, false, {}, 22, noCommCfg).makespan);
-
-    auto noShareCfg = runner.predictorConfig();
-    noShareCfg.cpuSharing = false;
-    const double tNoShare = toSeconds(runner.runOne(cfg, false, {}, 22, noShareCfg).makespan);
-
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& obs = result.observations[obsIdx[i]];
     const double errFull = obs.error();
-    const double errNoComm = (tNoComm - obs.measuredSec) / obs.measuredSec;
-    const double errNoShare = (tNoShare - obs.measuredSec) / obs.measuredSec;
+    const double errNoComm = (tNoComm[i] - obs.measuredSec) / obs.measuredSec;
+    const double errNoShare = (tNoShare[i] - obs.measuredSec) / obs.measuredSec;
     worstFull = std::max(worstFull, std::abs(errFull));
     worstNoComm = std::max(worstNoComm, std::abs(errNoComm));
     worstNoShare = std::max(worstNoShare, std::abs(errNoShare));
-    t.row({"P+FC r=" + std::to_string(r), Table::num(obs.measuredSec, 1),
-           Table::num(obs.predictedSec, 1), Table::num(tNoComm, 1), Table::num(tNoShare, 1),
-           Table::pct(errFull, 1), Table::pct(errNoComm, 1), Table::pct(errNoShare, 1)});
+    t.row({"P+FC r=" + std::to_string(rs[i]), Table::num(obs.measuredSec, 1),
+           Table::num(obs.predictedSec, 1), Table::num(tNoComm[i], 1),
+           Table::num(tNoShare[i], 1), Table::pct(errFull, 1), Table::pct(errNoComm, 1),
+           Table::pct(errNoShare, 1)});
   }
   t.print(std::cout);
   std::printf("\n");
@@ -54,5 +80,5 @@ int main() {
   bench::check(worstFull <= worstNoShare,
                "dropping CPU sharing does not improve accuracy");
   bench::check(worstFull < 0.08, "full model stays within 8%");
-  return bench::finish();
+  return bench::finish("ablation_cpu_model", opts, &result);
 }

@@ -5,14 +5,28 @@
 // (c) [CHECK] lines asserting the *shape* claims (who wins, by roughly what
 // factor, where crossovers fall).  Absolute times are not expected to match
 // the authors' 2006 testbed; shapes are (DESIGN.md §5).
+//
+// Benches execute their sweeps as exp::Campaign runs: observations fan out
+// over --jobs concurrent simulations (default: all cores) and come back in
+// deterministic point order, so the printed tables and [CHECK] verdicts are
+// identical at any job count.  --json <path> dumps the campaign result set,
+// aggregates and check verdicts for cross-PR trajectory tracking.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
+#include <fstream>
+#include <mutex>
 #include <string>
+#include <vector>
 
+#include "experiments/campaign.hpp"
 #include "experiments/scenario.hpp"
 #include "lu/builder.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dps::bench {
 
@@ -30,18 +44,92 @@ inline lu::LuConfig paperLu(std::int32_t r, std::int32_t workers) {
   return cfg;
 }
 
-inline int g_checksFailed = 0;
+/// Sweep execution options shared by every bench binary.
+struct RunOptions {
+  unsigned jobs = 0;    // 0 = hardware concurrency
+  std::string jsonPath; // empty = no JSON emission
+};
+
+/// Declares --jobs/--json on the bench's Cli (call before helpRequested()).
+inline RunOptions runOptions(Cli& cli) {
+  RunOptions o;
+  const std::int64_t jobs =
+      cli.integer("jobs", 0, "concurrent simulations (0 = hardware concurrency)");
+  if (jobs < 0 || jobs > 4096)
+    throw ConfigError("--jobs must be in [0, 4096], got " + std::to_string(jobs));
+  o.jobs = static_cast<unsigned>(jobs);
+  o.jsonPath = cli.str("json", "", "write results + check verdicts to this JSON file");
+  return o;
+}
+
+/// Concurrency the options resolve to (0 = hardware).
+inline unsigned effectiveJobs(const RunOptions& o) {
+  return o.jobs == 0 ? ThreadPool::hardwareJobs() : o.jobs;
+}
+
+/// Worker count for a shared caller-participates pool: the calling thread
+/// plus this many workers give exactly effectiveJobs() concurrent bodies
+/// (0 workers = serial inline execution).
+inline unsigned poolWorkers(const RunOptions& o) { return effectiveJobs(o) - 1; }
+
+struct CheckRecord {
+  std::string claim;
+  bool ok = false;
+};
+
+// Campaign sweeps run checks and [CHECK] output from pool threads in some
+// benches; the counter is atomic and the output + record list mutex-guarded
+// so lines never interleave and no verdict is lost.
+inline std::atomic<int> g_checksFailed{0};
+inline std::mutex g_checkMutex;
+inline std::vector<CheckRecord> g_checks;
 
 /// Records a shape-claim check; failures flip the process exit code so the
 /// bench sweep doubles as a regression harness.
 inline void check(bool ok, const std::string& claim) {
+  std::lock_guard<std::mutex> lock(g_checkMutex);
   std::printf("[CHECK] %-70s %s\n", claim.c_str(), ok ? "PASS" : "FAIL");
-  if (!ok) ++g_checksFailed;
+  g_checks.push_back({claim, ok});
+  if (!ok) g_checksFailed.fetch_add(1, std::memory_order_relaxed);
 }
 
-inline int finish() {
-  if (g_checksFailed > 0) {
-    std::printf("\n%d shape check(s) FAILED\n", g_checksFailed);
+/// Writes the bench's JSON artifact: name, job count, check verdicts and
+/// (when the bench is campaign-based) the full observation set + aggregates.
+inline void writeJson(const std::string& path, const std::string& benchName,
+                      const RunOptions& opts, const exp::CampaignResult* campaign) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write JSON to %s\n", path.c_str());
+    return;
+  }
+  os << "{\"bench\":\"" << exp::jsonEscape(benchName) << "\"";
+  os << ",\"jobs\":" << effectiveJobs(opts);
+  os << ",\"checks\":[";
+  {
+    std::lock_guard<std::mutex> lock(g_checkMutex);
+    for (std::size_t i = 0; i < g_checks.size(); ++i) {
+      if (i) os << ",";
+      os << "{\"claim\":\"" << exp::jsonEscape(g_checks[i].claim)
+         << "\",\"pass\":" << (g_checks[i].ok ? "true" : "false") << "}";
+    }
+  }
+  os << "]";
+  if (campaign) {
+    os << ",\"campaign\":";
+    campaign->writeJson(os);
+  }
+  os << "}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Prints the verdict summary, emits JSON when requested, and returns the
+/// process exit code.
+inline int finish(const std::string& benchName = {}, const RunOptions& opts = {},
+                  const exp::CampaignResult* campaign = nullptr) {
+  if (!opts.jsonPath.empty()) writeJson(opts.jsonPath, benchName, opts, campaign);
+  const int failed = g_checksFailed.load(std::memory_order_relaxed);
+  if (failed > 0) {
+    std::printf("\n%d shape check(s) FAILED\n", failed);
     return 1;
   }
   std::printf("\nall shape checks passed\n");

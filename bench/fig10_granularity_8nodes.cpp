@@ -9,7 +9,6 @@
 #include <map>
 
 #include "bench_common.hpp"
-#include "support/cli.hpp"
 
 using namespace dps;
 
@@ -18,6 +17,7 @@ int main(int argc, char** argv) {
   // --smoke shrinks the sweep (1296^2 matrix, coarse granularities only) so CI
   // can exercise the full bench pipeline in well under a second.
   const bool smoke = cli.flag("smoke", "reduced-size CI run; skips paper-scale shape checks");
+  const auto opts = bench::runOptions(cli);
   if (cli.helpRequested()) {
     std::printf("%s", cli.helpText().c_str());
     return 0;
@@ -31,24 +31,34 @@ int main(int argc, char** argv) {
     return cfg;
   };
 
-  exp::ScenarioRunner runner(bench::paperSettings());
-  const auto reference = runner.run(lu(324, 8), {}, 10);
-  std::printf("Figure 10 reproduction: LU %d^2, 8 nodes, reference Basic r=324\n", n);
-  std::printf("reference: measured %.1fs, predicted %.1fs (paper: 84.2s at 2592^2)\n\n",
-              reference.measuredSec, reference.predictedSec);
-
   const std::vector<std::int32_t> sizes = smoke ? std::vector<std::int32_t>{162, 216, 324}
                                                 : std::vector<std::int32_t>{81, 108, 162, 216, 324};
   const std::vector<std::string> variants{"Basic", "P", "P+FC"};
-  // improvement[variant][r] for measured and predicted legs.
-  std::map<std::string, std::map<std::int32_t, std::pair<double, double>>> curve;
 
+  exp::Campaign campaign(bench::paperSettings());
+  const std::size_t iRef = campaign.add(lu(324, 8), {}, /*fidelitySeed=*/10);
+  // point index per (variant, r) — the campaign preserves this ordering.
+  std::map<std::string, std::map<std::int32_t, std::size_t>> pointOf;
   for (std::int32_t r : sizes) {
     for (const auto& v : variants) {
       auto cfg = lu(r, 8);
       cfg.pipelined = v != "Basic";
       cfg.flowControl = v == "P+FC";
-      const auto obs = runner.run(cfg, {}, 10);
+      pointOf[v][r] = campaign.add(cfg, {}, 10);
+    }
+  }
+
+  const auto result = campaign.run(opts.jobs);
+  const auto& reference = result.observations[iRef];
+  std::printf("Figure 10 reproduction: LU %d^2, 8 nodes, reference Basic r=324\n", n);
+  std::printf("reference: measured %.1fs, predicted %.1fs (paper: 84.2s at 2592^2)\n\n",
+              reference.measuredSec, reference.predictedSec);
+
+  // improvement[variant][r] for measured and predicted legs.
+  std::map<std::string, std::map<std::int32_t, std::pair<double, double>>> curve;
+  for (std::int32_t r : sizes) {
+    for (const auto& v : variants) {
+      const auto& obs = result.observations[pointOf[v][r]];
       curve[v][r] = {reference.measuredSec / obs.measuredSec,
                      reference.predictedSec / obs.predictedSec};
     }
@@ -97,5 +107,5 @@ int main(int argc, char** argv) {
       worstGap = std::max(worstGap,
                           std::abs(curve[v][r].first - curve[v][r].second) / curve[v][r].first);
   bench::check(worstGap < 0.08, "simulated improvement curves track measured within 8%");
-  return bench::finish();
+  return bench::finish("fig10_granularity_8nodes", opts, &result);
 }

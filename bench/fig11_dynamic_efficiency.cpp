@@ -26,16 +26,28 @@ std::vector<double> efficiencies(const core::RunResult& r) {
 
 } // namespace
 
-int main() {
-  exp::ScenarioRunner runner(bench::paperSettings());
-  auto cfg = bench::paperLu(324, 8); // 8 column blocks, basic graph
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto opts = bench::runOptions(cli);
+  if (cli.helpRequested()) {
+    std::printf("%s", cli.helpText().c_str());
+    return 0;
+  }
+  cli.finish();
 
-  const auto eight = runner.run(cfg, {}, 11);
+  auto cfg = bench::paperLu(324, 8); // 8 column blocks, basic graph
   auto cfg4 = cfg;
   cfg4.workers = 4;
-  const auto four = runner.run(cfg4, {}, 11);
-  const auto killed =
-      runner.run(cfg, mall::AllocationPlan::killAfter({{1, {4, 5, 6, 7}}}), 11);
+
+  exp::Campaign campaign(bench::paperSettings());
+  const std::size_t iEight = campaign.add(cfg, {}, /*fidelitySeed=*/11);
+  const std::size_t iFour = campaign.add(cfg4, {}, 11);
+  const std::size_t iKilled =
+      campaign.add(cfg, mall::AllocationPlan::killAfter({{1, {4, 5, 6, 7}}}), 11);
+  const auto result = campaign.run(opts.jobs);
+  const auto& eight = result.observations[iEight];
+  const auto& four = result.observations[iFour];
+  const auto& killed = result.observations[iKilled];
 
   const auto e8m = efficiencies(eight.measured);
   const auto e8p = efficiencies(eight.predicted);
@@ -84,5 +96,5 @@ int main() {
     simGap = std::max(simGap, std::abs(e4m[i] - e4p[i]));
   }
   bench::check(simGap < 0.06, "simulated efficiency within 6 points of measured");
-  return bench::finish();
+  return bench::finish("fig11_dynamic_efficiency", opts, &result);
 }

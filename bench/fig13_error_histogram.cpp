@@ -4,6 +4,8 @@
 //
 // The campaign replays the scenario grid behind Figs. 8-12 across several
 // "machine states" (fidelity seeds — like measuring on different days).
+// This is the largest sweep in the suite, declared as exp::SweepGrid grids
+// and executed on the campaign pool (--jobs).
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -14,45 +16,48 @@
 
 using namespace dps;
 
-int main() {
-  exp::ScenarioRunner runner(bench::paperSettings());
-
-  // Scenario grid: granularities x variants x node counts x plans.
-  struct Scenario {
-    lu::LuConfig cfg;
-    mall::AllocationPlan plan;
-  };
-  std::vector<Scenario> grid;
-  for (std::int32_t workers : {4, 8}) {
-    for (std::int32_t r : {108, 162, 216, 324}) {
-      for (int v = 0; v < 3; ++v) {
-        auto cfg = bench::paperLu(r, workers);
-        cfg.pipelined = v > 0;
-        cfg.flowControl = v > 1;
-        grid.push_back({cfg, {}});
-      }
-    }
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto opts = bench::runOptions(cli);
+  if (cli.helpRequested()) {
+    std::printf("%s", cli.helpText().c_str());
+    return 0;
   }
-  // PM variants (coarse granularities, where the paper evaluates them).
-  for (std::int32_t r : {324, 648}) {
-    auto cfg = bench::paperLu(r, 4);
-    cfg.parallelMult = true;
-    grid.push_back({cfg, {}});
-  }
-  // Removal strategies.
-  {
-    auto cfg = bench::paperLu(324, 8);
-    grid.push_back({cfg, mall::AllocationPlan::killAfter({{1, {4, 5, 6, 7}}})});
-    grid.push_back({cfg, mall::AllocationPlan::killAfter({{4, {4, 5, 6, 7}}})});
-    grid.push_back({cfg, mall::AllocationPlan::killAfter({{2, {6, 7}}, {3, {4, 5}}})});
-  }
+  cli.finish();
 
   const std::vector<std::uint64_t> seeds{101, 202, 303, 404, 505, 606};
-  std::vector<double> errors;
-  errors.reserve(grid.size() * seeds.size());
-  for (const auto& sc : grid)
-    for (std::uint64_t seed : seeds)
-      errors.push_back(runner.run(sc.cfg, sc.plan, seed).error());
+  exp::Campaign campaign(bench::paperSettings());
+
+  // Scenario grid: granularities x variants x node counts, every machine state.
+  exp::SweepGrid grid;
+  grid.base = bench::paperLu(324, 8);
+  grid.r = {108, 162, 216, 324};
+  grid.workers = {4, 8};
+  grid.variants = {{"Basic", false, false, false},
+                   {"P", true, false, false},
+                   {"P+FC", true, false, true}};
+  grid.fidelitySeeds = seeds;
+  campaign.add(grid);
+
+  // PM variants (coarse granularities, where the paper evaluates them).
+  exp::SweepGrid pm;
+  pm.base = bench::paperLu(324, 4);
+  pm.r = {324, 648};
+  pm.variants = {{"PM", false, true, false}};
+  pm.fidelitySeeds = seeds;
+  campaign.add(pm);
+
+  // Removal strategies.
+  exp::SweepGrid removal;
+  removal.base = bench::paperLu(324, 8);
+  removal.plans = {mall::AllocationPlan::killAfter({{1, {4, 5, 6, 7}}}),
+                   mall::AllocationPlan::killAfter({{4, {4, 5, 6, 7}}}),
+                   mall::AllocationPlan::killAfter({{2, {6, 7}}, {3, {4, 5}}})};
+  removal.fidelitySeeds = seeds;
+  campaign.add(removal);
+
+  const auto result = campaign.run(opts.jobs);
+  const std::vector<double> errors = result.errors();
 
   Histogram hist(-0.16, 0.16, 16); // 2%-wide bins like the paper's figure
   hist.addAll(errors);
@@ -64,20 +69,20 @@ int main() {
   const double within4 = fractionWithin(errors, 0.04);
   const double within6 = fractionWithin(errors, 0.06);
   const double within12 = fractionWithin(errors, 0.12);
-  OnlineStats stats;
-  for (double e : errors) stats.add(e);
+  const auto agg = result.aggregate();
   std::printf("within +-4%%: %.1f%%   within +-6%%: %.1f%%   within +-12%%: %.1f%%\n",
               within4 * 100, within6 * 100, within12 * 100);
   std::printf("mean error %.2f%%, stddev %.2f%%, min %.2f%%, max %.2f%%\n",
-              stats.mean() * 100, stats.stddev() * 100, stats.min() * 100, stats.max() * 100);
+              agg.error.mean() * 100, agg.error.stddev() * 100, agg.error.min() * 100,
+              agg.error.max() * 100);
   std::printf("\npaper: 71.4%% within +-4%%, 81.6%% within +-6%%, >95%% within +-12%%\n\n");
 
   bench::check(errors.size() >= 168, "campaign size matches the paper's 168 measurements");
   bench::check(within4 >= 0.714, "at least 71.4% of predictions within +-4% (paper)");
   bench::check(within6 >= 0.816, "at least 81.6% of predictions within +-6% (paper)");
   bench::check(within12 >= 0.95, "more than 95% of predictions within +-12% (paper)");
-  bench::check(std::abs(stats.mean()) < 0.05, "errors are not grossly biased");
+  bench::check(std::abs(agg.error.mean()) < 0.05, "errors are not grossly biased");
   bench::check(hist.modeBin() >= 6 && hist.modeBin() <= 9,
                "error mass concentrates around zero");
-  return bench::finish();
+  return bench::finish("fig13_error_histogram", opts, &result);
 }

@@ -14,57 +14,66 @@
 
 using namespace dps;
 
-int main() {
-  exp::ScenarioRunner runner(bench::paperSettings());
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto opts = bench::runOptions(cli);
+  if (cli.helpRequested()) {
+    std::printf("%s", cli.helpText().c_str());
+    return 0;
+  }
+  cli.finish();
+
+  exp::Campaign campaign(bench::paperSettings());
+  const std::size_t iRef = campaign.add(bench::paperLu(648, 4), {}, /*fidelitySeed=*/8);
 
   struct Entry {
     std::string label;
-    exp::Observation obs;
+    std::size_t idx = 0;
   };
   std::vector<Entry> entries;
-
-  auto run = [&](std::string label, lu::LuConfig cfg) {
-    entries.push_back({std::move(label), runner.run(cfg, {}, /*fidelitySeed=*/8)});
+  auto add = [&](std::string label, const lu::LuConfig& cfg) {
+    entries.push_back({std::move(label), campaign.add(cfg, {}, 8)});
   };
-
-  const auto reference = runner.run(bench::paperLu(648, 4), {}, 8);
-  std::printf("Figure 8 reproduction: LU 2592^2, 4 nodes; reference Basic r=648\n");
-  std::printf("reference: measured %.1fs, predicted %.1fs (paper reference: 259.4s)\n\n",
-              reference.measuredSec, reference.predictedSec);
 
   // Graph modifications at the reference granularity.
   {
     auto cfg = bench::paperLu(648, 4);
     cfg.parallelMult = true;
-    run("PM        r=648", cfg);
+    add("PM        r=648", cfg);
   }
   {
     auto cfg = bench::paperLu(648, 4);
     cfg.pipelined = true;
-    run("P         r=648", cfg);
-  }
-  {
-    auto cfg = bench::paperLu(648, 4);
-    cfg.pipelined = true;
-    cfg.parallelMult = true;
-    run("P+PM      r=648", cfg);
-  }
-  {
-    auto cfg = bench::paperLu(648, 4);
-    cfg.pipelined = true;
-    cfg.flowControl = true;
-    run("P+FC      r=648", cfg);
+    add("P         r=648", cfg);
   }
   {
     auto cfg = bench::paperLu(648, 4);
     cfg.pipelined = true;
     cfg.parallelMult = true;
+    add("P+PM      r=648", cfg);
+  }
+  {
+    auto cfg = bench::paperLu(648, 4);
+    cfg.pipelined = true;
     cfg.flowControl = true;
-    run("P+PM+FC   r=648", cfg);
+    add("P+FC      r=648", cfg);
+  }
+  {
+    auto cfg = bench::paperLu(648, 4);
+    cfg.pipelined = true;
+    cfg.parallelMult = true;
+    cfg.flowControl = true;
+    add("P+PM+FC   r=648", cfg);
   }
   // Granularity changes (the dominant effect).
-  for (std::int32_t r : {324, 216, 162, 108}) run("Basic     r=" + std::to_string(r),
-                                                  bench::paperLu(r, 4));
+  for (std::int32_t r : {324, 216, 162, 108})
+    add("Basic     r=" + std::to_string(r), bench::paperLu(r, 4));
+
+  const auto result = campaign.run(opts.jobs);
+  const auto& reference = result.observations[iRef];
+  std::printf("Figure 8 reproduction: LU 2592^2, 4 nodes; reference Basic r=648\n");
+  std::printf("reference: measured %.1fs, predicted %.1fs (paper reference: 259.4s)\n\n",
+              reference.measuredSec, reference.predictedSec);
 
   Table t;
   t.header({"variant", "measured [s]", "predicted [s]",
@@ -72,7 +81,8 @@ int main() {
   double bestGranularityGain = 0;
   double bestTweakGain = 0;
   double worstPredErr = 0;
-  for (const auto& [label, obs] : entries) {
+  for (const auto& [label, idx] : entries) {
+    const auto& obs = result.observations[idx];
     const double gainMeas = reference.measuredSec / obs.measuredSec;
     const double gainPred = reference.predictedSec / obs.predictedSec;
     t.row({label, Table::num(obs.measuredSec, 1), Table::num(obs.predictedSec, 1),
@@ -91,7 +101,7 @@ int main() {
   // Individual errors can reach several percent (the paper's own campaign
   // has a +-16% tail, Fig. 13); the curve as a whole must track closely.
   std::vector<double> errs;
-  for (const auto& e : entries) errs.push_back(std::abs(e.obs.error()));
+  for (const auto& e : entries) errs.push_back(std::abs(result.observations[e.idx].error()));
   bench::check(percentile(errs, 50) < 0.03, "median prediction error below 3%");
   bench::check(worstPredErr < 0.12, "worst prediction error within the paper's +-12% band");
   // The predictor's preferred configuration is (within noise) as good as
@@ -100,7 +110,8 @@ int main() {
   std::string bestPred;
   double bp = 0, bm = 0;
   double bestPredMeasuredGain = 0;
-  for (const auto& [label, obs] : entries) {
+  for (const auto& [label, idx] : entries) {
+    const auto& obs = result.observations[idx];
     bm = std::max(bm, reference.measuredSec / obs.measuredSec);
     if (reference.predictedSec / obs.predictedSec > bp) {
       bp = reference.predictedSec / obs.predictedSec;
@@ -110,5 +121,5 @@ int main() {
   }
   bench::check(bestPredMeasuredGain > 0.97 * bm,
                "the simulator's preferred configuration is within 3% of the true best");
-  return bench::finish();
+  return bench::finish("fig8_modifications_4nodes", opts, &result);
 }

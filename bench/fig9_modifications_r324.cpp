@@ -13,38 +13,49 @@
 
 using namespace dps;
 
-int main() {
-  exp::ScenarioRunner runner(bench::paperSettings());
-  const auto reference = runner.run(bench::paperLu(324, 4), {}, 9);
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto opts = bench::runOptions(cli);
+  if (cli.helpRequested()) {
+    std::printf("%s", cli.helpText().c_str());
+    return 0;
+  }
+  cli.finish();
 
-  std::printf("Figure 9 reproduction: LU 2592^2, 4 nodes, reference Basic r=324\n");
-  std::printf("reference: measured %.1fs, predicted %.1fs (paper reference: 101.8s)\n\n",
-              reference.measuredSec, reference.predictedSec);
+  exp::Campaign campaign(bench::paperSettings());
+  const std::size_t iRef = campaign.add(bench::paperLu(324, 4), {}, /*fidelitySeed=*/9);
 
   struct Entry {
     std::string label;
-    exp::Observation obs;
+    std::size_t idx = 0;
   };
   std::vector<Entry> entries;
-  auto run = [&](std::string label, bool p, bool pm, bool fc) {
+  auto add = [&](std::string label, bool p, bool pm, bool fc) {
     auto cfg = bench::paperLu(324, 4);
     cfg.pipelined = p;
     cfg.parallelMult = pm;
     cfg.flowControl = fc;
-    entries.push_back({std::move(label), runner.run(cfg, {}, 9)});
+    entries.push_back({std::move(label), campaign.add(cfg, {}, 9)});
   };
-  run("PM", false, true, false);
-  run("P", true, false, false);
-  run("P+PM", true, true, false);
-  run("P+FC", true, false, true);
-  run("P+PM+FC", true, true, true);
+  add("PM", false, true, false);
+  add("P", true, false, false);
+  add("P+PM", true, true, false);
+  add("P+FC", true, false, true);
+  add("P+PM+FC", true, true, true);
+
+  const auto result = campaign.run(opts.jobs);
+  const auto& reference = result.observations[iRef];
+  std::printf("Figure 9 reproduction: LU 2592^2, 4 nodes, reference Basic r=324\n");
+  std::printf("reference: measured %.1fs, predicted %.1fs (paper reference: 101.8s)\n\n",
+              reference.measuredSec, reference.predictedSec);
 
   Table t;
   t.header({"variant", "measured [s]", "predicted [s]", "improvement (meas)",
             "improvement (pred)", "pred err"});
   double worstPredErr = 0;
   auto gain = [&](const exp::Observation& o) { return reference.measuredSec / o.measuredSec; };
-  for (const auto& [label, obs] : entries) {
+  for (const auto& [label, idx] : entries) {
+    const auto& obs = result.observations[idx];
     t.row({label, Table::num(obs.measuredSec, 1), Table::num(obs.predictedSec, 1),
            Table::num(gain(obs), 3),
            Table::num(reference.predictedSec / obs.predictedSec, 3),
@@ -56,7 +67,7 @@ int main() {
 
   auto find = [&](const std::string& l) -> const exp::Observation& {
     for (const auto& e : entries)
-      if (e.label == l) return e.obs;
+      if (e.label == l) return result.observations[e.idx];
     throw Error("missing entry");
   };
   bench::check(gain(find("PM")) < 1.0,
@@ -67,5 +78,5 @@ int main() {
   bench::check(gain(find("P+FC")) >= gain(find("P")),
                "flow control adds on top of pipelining");
   bench::check(worstPredErr < 0.05, "prediction errors below 5% (paper Fig. 9 caption)");
-  return bench::finish();
+  return bench::finish("fig9_modifications_r324", opts, &result);
 }

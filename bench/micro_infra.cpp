@@ -1,7 +1,15 @@
 // Microbenchmarks of the simulation infrastructure (google-benchmark):
 // event-queue throughput, fair-share network replanning, the sizing
-// serializer, and end-to-end simulator event rates.
+// serializer, thread-pool dispatch, and end-to-end simulator event rates.
+//
+// Scheduler hot-path history: the queue moved from std::priority_queue
+// (whose top() forces a per-event Entry copy and whose storage cannot be
+// pre-reserved) to an explicit reserved std::vector heap with move-only
+// push/pop; BM_SchedulerThroughput and BM_SchedulerReuse are the
+// before/after yardsticks for that path.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
 
 #include "core/engine.hpp"
 #include "des/scheduler.hpp"
@@ -10,6 +18,7 @@
 #include "lu/objects.hpp"
 #include "net/network.hpp"
 #include "net/profile.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -26,6 +35,35 @@ void BM_SchedulerThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
 }
 BENCHMARK(BM_SchedulerThroughput)->Arg(10000)->Arg(100000);
+
+// Steady-state schedule/fire rate of a long-lived scheduler: reset() keeps
+// the heap's reserved capacity, so refills never touch the allocator.
+void BM_SchedulerReuse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  des::Scheduler sched(n);
+  for (auto _ : state) {
+    sched.reset();
+    for (std::size_t i = 0; i < n; ++i)
+      sched.scheduleAfter(nanoseconds(static_cast<std::int64_t>((i * 7919) % 100000)), [] {});
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_SchedulerReuse)->Arg(10000)->Arg(100000);
+
+// Fan-out overhead of the campaign substrate: items are trivial, so this
+// measures claim/complete bookkeeping, not useful work.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(ThreadPool::hardwareJobs());
+  std::atomic<std::uint64_t> sum{0};
+  for (auto _ : state) {
+    parallelFor(pool, n, [&](std::size_t i) { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  benchmark::DoNotOptimize(sum.load());
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(64)->Arg(1024);
 
 void BM_NetworkFairShare(benchmark::State& state) {
   const int transfers = static_cast<int>(state.range(0));

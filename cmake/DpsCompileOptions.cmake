@@ -10,6 +10,11 @@ add_library(dps_common INTERFACE)
 add_library(dps::common ALIAS dps_common)
 target_include_directories(dps_common INTERFACE "${CMAKE_CURRENT_SOURCE_DIR}/src")
 
+# support/thread_pool (and everything above it) uses std::thread.
+set(THREADS_PREFER_PTHREAD_FLAG ON)
+find_package(Threads REQUIRED)
+target_link_libraries(dps_common INTERFACE Threads::Threads)
+
 if(DPS_SANITIZE)
   string(REPLACE "," ";" _dps_san_list "${DPS_SANITIZE}")
   foreach(_san IN LISTS _dps_san_list)

@@ -8,10 +8,14 @@
 //     the simulator-predicted dynamic efficiency drops below a threshold,
 //     so the next job can start earlier on the freed nodes.
 //
-// Per-iteration duration/efficiency profiles come from the DPS simulator;
-// the job-level queueing itself runs on the same discrete-event kernel.
+// Per-iteration duration/efficiency profiles come from the DPS simulator.
+// What-if queries ("release half the nodes after iteration k") are served
+// by a shared simulation pool: every candidate shrink point is simulated
+// concurrently (--pool-jobs) and the admission policy then just looks its
+// answer up.  The job-level queueing itself runs on the same discrete-event
+// kernel.
 //
-//   $ ./examples/cluster_server --jobs=6 --nodes=16
+//   $ ./examples/cluster_server --jobs=6 --nodes=16 --pool-jobs=8
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -22,41 +26,87 @@
 #include "malleable/controller.hpp"
 #include "net/profile.hpp"
 #include "support/cli.hpp"
+#include "support/error.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 #include "trace/efficiency.hpp"
 
 using namespace dps;
 
 namespace {
 
-struct JobProfile {
-  double staticDuration = 0;                       // full-allocation runtime
-  double malleableDuration = 0;                    // runtime under the shrink plan
-  double shrinkAt = 0;                             // when half the nodes free up
-  std::int64_t shrinkIteration = 0;                // -1 = never
-};
-
-/// Predicts one LU job's behaviour with the DPS simulator and derives the
-/// efficiency-driven shrink point.
-JobProfile profileJob(const lu::LuConfig& cfg, double efficiencyThreshold) {
-  const auto model = lu::KernelCostModel::ultraSparc440();
+core::SimConfig simConfig() {
   core::SimConfig sc;
   sc.profile = net::ultraSparc440();
   sc.mode = core::ExecutionMode::Pdexec;
   sc.allocatePayloads = false;
+  return sc;
+}
 
+/// Result of one what-if query: shrink to half the nodes after `iteration`.
+struct WhatIf {
+  std::int64_t iteration = 0; // 0 = never shrink
+  double duration = 0;        // total runtime under this plan
+  double shrinkAt = 0;        // when the released nodes actually free up
+};
+
+/// Simulates "release workers/2 nodes after iteration k" for every candidate
+/// k on the shared pool; answers[0] is the static (never-shrink) run, whose
+/// per-iteration efficiency curve comes back in `staticEfficiency` for the
+/// admission policy to scan.
+std::vector<WhatIf> evaluateWhatIfs(ThreadPool& pool, const lu::LuConfig& cfg,
+                                    std::vector<trace::EfficiencyPoint>& staticEfficiency) {
+  const auto model = lu::KernelCostModel::ultraSparc440();
+  std::vector<WhatIf> answers(static_cast<std::size_t>(cfg.levels() - 1));
+  parallelFor(pool, answers.size(), [&](std::size_t q) {
+    WhatIf& ans = answers[q];
+    ans.iteration = static_cast<std::int64_t>(q); // 0 = static
+    core::SimEngine engine(simConfig());
+    lu::LuBuild build = lu::buildLu(cfg, model, false);
+    std::unique_ptr<mall::LuMalleabilityController> controller;
+    if (ans.iteration >= 1) {
+      mall::RemovalStep step;
+      step.afterIteration = ans.iteration;
+      for (std::int32_t t = cfg.workers / 2; t < cfg.workers; ++t) step.threads.push_back(t);
+      controller = std::make_unique<mall::LuMalleabilityController>(
+          engine, build, mall::AllocationPlan::killAfter({step}));
+    }
+    const auto run = lu::runLu(engine, build);
+    ans.duration = toSeconds(run.makespan);
+    ans.shrinkAt = ans.duration; // fallback: nodes free at completion
+    if (ans.iteration >= 1) {
+      for (const auto& a : run.trace->allocations()) {
+        if (a.allocatedNodes <= cfg.workers / 2) {
+          ans.shrinkAt = toSeconds(a.time.time_since_epoch());
+          break;
+        }
+      }
+    } else {
+      staticEfficiency = trace::dynamicEfficiency(*run.trace, "iteration", simEpoch(),
+                                                  simEpoch() + run.makespan);
+    }
+  });
+  return answers;
+}
+
+struct JobProfile {
+  double staticDuration = 0;        // full-allocation runtime
+  double malleableDuration = 0;     // runtime under the shrink plan
+  double shrinkAt = 0;              // when half the nodes free up
+  std::int64_t shrinkIteration = 0; // 0 = never
+};
+
+/// Picks the efficiency-driven shrink point from the precomputed what-ifs.
+JobProfile profileJob(const std::vector<WhatIf>& answers,
+                      const std::vector<trace::EfficiencyPoint>& staticEfficiency,
+                      const lu::LuConfig& cfg, double efficiencyThreshold) {
   JobProfile profile;
-  core::SimEngine engine(sc);
-  lu::LuBuild build = lu::buildLu(cfg, model, false);
-  auto staticRun = lu::runLu(engine, build);
-  profile.staticDuration = toSeconds(staticRun.makespan);
+  profile.staticDuration = answers[0].duration;
 
   // Find the first iteration whose dynamic efficiency drops below the
   // threshold — the earliest point where holding all nodes is wasteful.
-  const auto eff = trace::dynamicEfficiency(*staticRun.trace, "iteration", simEpoch(),
-                                            simEpoch() + staticRun.makespan);
-  profile.shrinkIteration = -1;
-  for (const auto& p : eff) {
+  profile.shrinkIteration = 0;
+  for (const auto& p : staticEfficiency) {
     if (p.efficiency < efficiencyThreshold && p.markerValue + 1 < cfg.levels()) {
       profile.shrinkIteration = p.markerValue;
       break;
@@ -67,25 +117,9 @@ JobProfile profileJob(const lu::LuConfig& cfg, double efficiencyThreshold) {
     profile.shrinkAt = profile.staticDuration;
     return profile;
   }
-
-  // Re-simulate under the shrink plan to get the malleable runtime and the
-  // moment the nodes actually free up.
-  mall::RemovalStep step;
-  step.afterIteration = profile.shrinkIteration;
-  for (std::int32_t t = cfg.workers / 2; t < cfg.workers; ++t) step.threads.push_back(t);
-  core::SimEngine engine2(sc);
-  lu::LuBuild build2 = lu::buildLu(cfg, model, false);
-  mall::LuMalleabilityController controller(engine2, build2,
-                                            mall::AllocationPlan::killAfter({step}));
-  auto mallRun = lu::runLu(engine2, build2);
-  profile.malleableDuration = toSeconds(mallRun.makespan);
-  profile.shrinkAt = profile.malleableDuration; // fallback
-  for (const auto& a : mallRun.trace->allocations()) {
-    if (a.allocatedNodes <= cfg.workers / 2 + 0) {
-      profile.shrinkAt = toSeconds(a.time.time_since_epoch());
-      break;
-    }
-  }
+  const auto& ans = answers[static_cast<std::size_t>(profile.shrinkIteration)];
+  profile.malleableDuration = ans.duration;
+  profile.shrinkAt = ans.shrinkAt;
   return profile;
 }
 
@@ -156,6 +190,11 @@ int main(int argc, char** argv) {
   const auto jobCount = static_cast<std::int32_t>(cli.integer("jobs", 6, "queued LU jobs"));
   const auto jobNodes = static_cast<std::int32_t>(cli.integer("job-nodes", 8, "nodes per job"));
   const double threshold = cli.real("threshold", 0.35, "efficiency threshold for shrinking");
+  const std::int64_t poolJobsRaw =
+      cli.integer("pool-jobs", 0, "concurrent what-if simulations (0 = hardware concurrency)");
+  if (poolJobsRaw < 0 || poolJobsRaw > 4096)
+    throw ConfigError("--pool-jobs must be in [0, 4096], got " + std::to_string(poolJobsRaw));
+  const auto poolJobs = static_cast<unsigned>(poolJobsRaw);
   if (cli.helpRequested()) {
     std::printf("%s", cli.helpText().c_str());
     return 0;
@@ -167,10 +206,32 @@ int main(int argc, char** argv) {
   cfg.r = 324;
   cfg.workers = jobNodes;
 
-  std::printf("profiling one LU job (%dx%d, r=%d, %d nodes) with the DPS simulator...\n",
-              cfg.n, cfg.n, cfg.r, jobNodes);
-  const JobProfile profile = profileJob(cfg, threshold);
-  std::printf("  static runtime    : %.1fs\n", profile.staticDuration);
+  // The caller participates in pool sweeps, so jobs - 1 workers give exactly
+  // `effectiveJobs` concurrent simulations (a worker-less pool runs inline).
+  const unsigned effectiveJobs = poolJobs == 0 ? ThreadPool::hardwareJobs() : poolJobs;
+  ThreadPool pool(effectiveJobs - 1);
+
+  std::printf("what-if pool: simulating %d candidate shrink points for one LU job\n",
+              cfg.levels() - 1);
+  std::printf("(%dx%d, r=%d, %d nodes; %u concurrent simulations)\n", cfg.n, cfg.n, cfg.r,
+              jobNodes, effectiveJobs);
+  std::vector<trace::EfficiencyPoint> staticEfficiency;
+  const auto answers = evaluateWhatIfs(pool, cfg, staticEfficiency);
+
+  Table w;
+  w.header({"shrink after it.", "runtime [s]", "vs static", "nodes freed at [s]"});
+  for (const auto& a : answers) {
+    if (a.iteration == 0) {
+      w.row({"never (static)", Table::num(a.duration, 1), "-", "-"});
+    } else {
+      w.row({std::to_string(a.iteration), Table::num(a.duration, 1),
+             Table::pct(a.duration / answers[0].duration - 1, 1), Table::num(a.shrinkAt, 1)});
+    }
+  }
+  w.print(std::cout);
+
+  const JobProfile profile = profileJob(answers, staticEfficiency, cfg, threshold);
+  std::printf("\n  static runtime    : %.1fs\n", profile.staticDuration);
   if (profile.shrinkIteration >= 1) {
     std::printf("  efficiency < %.0f%% after iteration %lld -> release %d nodes at t=%.1fs\n",
                 threshold * 100.0, static_cast<long long>(profile.shrinkIteration),

@@ -1,16 +1,26 @@
 #include "des/scheduler.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 
 namespace dps::des {
+
+Scheduler::Scheduler(std::size_t reserveCapacity) { heap_.reserve(reserveCapacity); }
+
+void Scheduler::reserve(std::size_t capacity) {
+  if (capacity > heap_.capacity()) heap_.reserve(capacity);
+}
 
 EventId Scheduler::scheduleAt(SimTime at, Action action) {
   DPS_CHECK(at >= now_, "cannot schedule event in the past");
   DPS_CHECK(static_cast<bool>(action), "cannot schedule empty action");
   auto sp = std::make_shared<Action>(std::move(action));
-  queue_.push(Entry{at, nextSeq_++, sp});
+  EventId id{sp};
+  heap_.push_back(Entry{at, nextSeq_++, std::move(sp)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++liveCount_;
-  return EventId(sp);
+  return id;
 }
 
 EventId Scheduler::scheduleAfter(SimDuration delay, Action action) {
@@ -28,9 +38,10 @@ bool Scheduler::cancel(EventId id) {
 }
 
 bool Scheduler::popLive(Entry& out) {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
     if (e.action && *e.action) {
       out = std::move(e);
       return true;
@@ -65,7 +76,9 @@ std::size_t Scheduler::runUntil(SimTime deadline) {
     Entry e;
     if (!popLive(e)) break;
     if (e.at > deadline) {
-      queue_.push(e); // put it back; clock stops at the deadline
+      // Put it back; the clock stops at the deadline.
+      heap_.push_back(std::move(e));
+      std::push_heap(heap_.begin(), heap_.end(), Later{});
       now_ = deadline;
       return n;
     }
@@ -82,7 +95,9 @@ std::size_t Scheduler::runUntil(SimTime deadline) {
 }
 
 void Scheduler::reset() {
-  queue_ = {};
+  // clear() keeps the reserved capacity, so a reused scheduler re-enters its
+  // steady state without reallocation.
+  heap_.clear();
   now_ = simEpoch();
   nextSeq_ = 1;
   fired_ = 0;

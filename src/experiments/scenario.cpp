@@ -71,7 +71,7 @@ core::RunResult ScenarioRunner::runOne(const lu::LuConfig& cfg, bool fidelity,
 }
 
 Observation ScenarioRunner::run(const lu::LuConfig& cfg, const mall::AllocationPlan& plan,
-                                std::uint64_t fidelitySeed, mall::RemovalPolicy policy) {
+                                std::uint64_t fidelitySeed, mall::RemovalPolicy policy) const {
   Observation obs;
   obs.label = cfg.variantName() + " r=" + std::to_string(cfg.r) + " w=" +
               std::to_string(cfg.workers) +

@@ -52,9 +52,11 @@ public:
   /// Runs reference + prediction for one configuration (and optional
   /// allocation plan).  `fidelitySeed` varies the "machine state" of the
   /// reference run, like repeating a measurement on different days.
+  /// const and stateless beyond the settings: safe to call concurrently
+  /// from campaign workers (each call owns its engines and build).
   Observation run(const lu::LuConfig& cfg, const mall::AllocationPlan& plan = {},
                   std::uint64_t fidelitySeed = 1,
-                  mall::RemovalPolicy policy = mall::RemovalPolicy::MigrateColumns);
+                  mall::RemovalPolicy policy = mall::RemovalPolicy::MigrateColumns) const;
 
   /// One leg only (used by ablation benches).
   core::RunResult runOne(const lu::LuConfig& cfg, bool fidelity,

@@ -8,14 +8,26 @@ Registry& Registry::instance() {
 }
 
 void Registry::add(std::string name, Factory f) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = factories_.emplace(std::move(name), std::move(f));
   DPS_CHECK(inserted, "duplicate object type registration: " + it->first);
 }
 
-std::unique_ptr<ObjectBase> Registry::create(const std::string& name) const {
+bool Registry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) > 0;
+}
+
+Registry::Factory Registry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = factories_.find(name);
   if (it == factories_.end()) throw Error("unknown object type: " + name);
-  return it->second();
+  return it->second;
+}
+
+std::unique_ptr<ObjectBase> Registry::create(const std::string& name) const {
+  // The factory is copied out so construction runs outside the lock.
+  return find(name)();
 }
 
 std::vector<std::byte> encodeFramed(const ObjectBase& obj) {

@@ -9,6 +9,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 
@@ -43,7 +44,9 @@ public:
 using ObjectPtr = std::shared_ptr<const ObjectBase>;
 
 /// Factory registry mapping type names to default-constructors; used by the
-/// wire decoder and by the serialization round-trip tests.
+/// wire decoder and by the serialization round-trip tests.  Mutex-guarded:
+/// campaign workers may register application object types (or decode) from
+/// several threads concurrently.
 class Registry {
 public:
   using Factory = std::function<std::unique_ptr<ObjectBase>()>;
@@ -51,13 +54,16 @@ public:
   static Registry& instance();
 
   void add(std::string name, Factory f);
-  bool contains(const std::string& name) const { return factories_.count(name) > 0; }
+  bool contains(const std::string& name) const;
   std::unique_ptr<ObjectBase> create(const std::string& name) const;
 
   /// Decodes a framed object (type name + payload) produced by encodeFramed.
   std::unique_ptr<ObjectBase> decodeFramed(std::span<const std::byte> data) const;
 
 private:
+  Factory find(const std::string& name) const;
+
+  mutable std::mutex mutex_;
   std::map<std::string, Factory> factories_;
 };
 

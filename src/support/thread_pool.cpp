@@ -1,0 +1,135 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace dps {
+
+unsigned ThreadPool::hardwareJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  DPS_CHECK(!workers_.empty(), "submit() on a worker-less pool would never run the task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return; // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one parallelFor: an atomic work counter plus completion
+/// accounting.  Heap-allocated so pool tasks that wake after the caller has
+/// already returned (having drained everything itself) stay valid.
+struct ForState {
+  explicit ForState(std::size_t n, const std::function<void(std::size_t)>& b)
+      : count(n), body(b) {}
+
+  const std::size_t count;
+  const std::function<void(std::size_t)>& body; // caller outlives all workers
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> abort{false};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error; // first failure; guarded by mutex
+
+  /// Claims and runs items until the counter is exhausted.  After a failure
+  /// the remaining items are still claimed (so `done` reaches `count` and
+  /// the caller wakes) but their bodies are skipped.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      if (!abort.load(std::memory_order_relaxed)) {
+        try {
+          body(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!error) error = std::current_exception();
+          }
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+} // namespace
+
+void parallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1 || pool.threadCount() == 0) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  auto state = std::make_shared<ForState>(count, body);
+  // One helper task per worker that could usefully claim an item; the
+  // caller participates too, so helpers = min(workers, count - 1).
+  const std::size_t helpers =
+      std::min<std::size_t>(pool.threadCount(), count - 1);
+  for (std::size_t i = 0; i < helpers; ++i) pool.submit([state] { state->drain(); });
+  state->drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->count;
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+void parallelFor(std::size_t count, unsigned jobs,
+                 const std::function<void(std::size_t)>& body) {
+  if (jobs == 0) jobs = ThreadPool::hardwareJobs();
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // The caller participates, so jobs - 1 pool workers give `jobs`
+  // concurrent bodies.
+  ThreadPool pool(static_cast<unsigned>(
+      std::min<std::size_t>(jobs - 1, count > 0 ? count - 1 : 0)));
+  parallelFor(pool, count, body);
+}
+
+} // namespace dps

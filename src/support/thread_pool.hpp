@@ -1,0 +1,69 @@
+// Fixed-size thread pool + deterministic parallelFor.
+//
+// The pool is the substrate of the experiment-campaign subsystem: many
+// independent simulations (each single-threaded, each owning its engine)
+// fan out across cores.  parallelFor gives deterministic work->result
+// ordering — body(i) writes to slot i, so results are ordered by index no
+// matter which thread ran which item or in what order items finished.
+//
+// The calling thread participates in parallelFor, so a pool with T workers
+// yields up to T+1 concurrent bodies and `parallelFor(n, jobs, body)` with
+// jobs == 1 degenerates to a plain serial loop on the caller (no pool, no
+// synchronization — bit-identical to never having used this header).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dps {
+
+class ThreadPool {
+public:
+  /// Spawns exactly `threads` workers.  A pool of 0 workers is valid and
+  /// makes parallelFor run inline on the caller — `ThreadPool(jobs - 1)`
+  /// therefore yields exactly `jobs` concurrent bodies for any jobs >= 1.
+  explicit ThreadPool(unsigned threads = hardwareJobs());
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threadCount() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task; it runs as soon as a worker frees up.  Requires at
+  /// least one worker (throws otherwise).  Tasks must not block waiting for
+  /// later-submitted tasks (classic pool deadlock).
+  void submit(std::function<void()> task);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static unsigned hardwareJobs();
+
+private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Runs body(0) ... body(count-1) across the pool's workers plus the calling
+/// thread; returns when every body has finished.  Items are claimed from an
+/// atomic counter, so assignment to threads is racy, but callers index their
+/// result slots by `i` — results are deterministically ordered regardless.
+/// The first exception thrown by any body is rethrown on the caller after
+/// all remaining items were drained (bodies after the throw are skipped).
+void parallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
+/// Convenience form: `jobs` == 0 picks hardwareJobs(); jobs <= 1 or
+/// count <= 1 runs inline on the caller without any pool or locking.
+void parallelFor(std::size_t count, unsigned jobs,
+                 const std::function<void(std::size_t)>& body);
+
+} // namespace dps

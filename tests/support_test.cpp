@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <numeric>
 #include <sstream>
+#include <vector>
 
 #include "support/cli.hpp"
 #include "support/error.hpp"
@@ -9,6 +12,7 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 #include "support/time.hpp"
 
 namespace dps {
@@ -204,6 +208,93 @@ TEST(ErrorTest, HierarchyAndMessages) {
     EXPECT_NE(std::string(e.what()).find("graph: bad wiring"), std::string::npos);
   }
   EXPECT_THROW(DPS_CHECK(false, "boom"), InternalError);
+}
+
+TEST(ThreadPoolTest, HardwareJobsIsPositive) { EXPECT_GE(ThreadPool::hardwareJobs(), 1u); }
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  parallelFor(pool, hits.size(),
+              [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForResultsAreIndexOrdered) {
+  // Work -> result ordering is by index, not completion order: each body
+  // writes slot i, so the output is deterministic at any thread count.
+  std::vector<std::size_t> out(100, 0);
+  parallelFor(out.size(), 4, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, SerialFallbacksRunInline) {
+  // jobs <= 1 and count <= 1 must not spawn anything: the body observes the
+  // caller's thread id.
+  const auto self = std::this_thread::get_id();
+  int calls = 0;
+  parallelFor(5, 1, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), self);
+    ++calls;
+  });
+  parallelFor(1, 8, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), self);
+    ++calls;
+  });
+  parallelFor(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 6);
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesAndDrainCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  try {
+    parallelFor(pool, 64, [&](std::size_t i) {
+      if (i == 5) throw Error("boom at 5");
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom at 5"), std::string::npos);
+  }
+  EXPECT_LE(ran.load(), 63);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossParallelFors) {
+  ThreadPool pool(2);
+  std::uint64_t total = 0;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::uint64_t> out(50, 0);
+    parallelFor(pool, out.size(), [&](std::size_t i) { out[i] = i + 1; });
+    total += std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+  }
+  EXPECT_EQ(total, 10u * (50u * 51u / 2u));
+}
+
+TEST(ThreadPoolTest, WorkerlessPoolRunsInlineOnCaller) {
+  // ThreadPool(jobs - 1) with jobs == 1: no workers, parallelFor degrades to
+  // a serial loop on the caller, and submit() refuses (it would never run).
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threadCount(), 0u);
+  const auto self = std::this_thread::get_id();
+  int calls = 0;
+  parallelFor(pool, 4, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), self);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 4);
+  EXPECT_THROW(pool.submit([] {}), Error);
+}
+
+TEST(ThreadPoolTest, SubmitRunsDetachedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i)
+      pool.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 8);
 }
 
 } // namespace
