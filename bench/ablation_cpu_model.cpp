@@ -14,13 +14,7 @@
 using namespace dps;
 
 int main(int argc, char** argv) {
-  Cli cli(argc, argv);
-  const auto opts = bench::runOptions(cli);
-  if (cli.helpRequested()) {
-    std::printf("%s", cli.helpText().c_str());
-    return 0;
-  }
-  cli.finish();
+  const auto opts = bench::BenchArgs::parse(argc, argv).opts;
 
   const std::vector<std::int32_t> rs{81, 108};
   exp::Campaign campaign(bench::paperSettings());

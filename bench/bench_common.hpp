@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <string>
@@ -66,6 +67,35 @@ inline RunOptions runOptions(Cli& cli) {
 inline unsigned effectiveJobs(const RunOptions& o) {
   return o.jobs == 0 ? ThreadPool::hardwareJobs() : o.jobs;
 }
+
+/// The fully parsed shared bench command line.  Every bench main starts with
+/// BenchArgs::parse instead of hand-rolling Cli handling: --help prints the
+/// usage text and exits 0; unknown or malformed options print the error plus
+/// usage and exit 2 — never silently ignored, never an uncaught throw.
+struct BenchArgs {
+  RunOptions opts;
+  bool smoke = false;
+
+  static BenchArgs parse(int argc, const char* const* argv, bool withSmoke = false) {
+    Cli cli(argc, argv);
+    BenchArgs args;
+    try {
+      if (withSmoke)
+        args.smoke =
+            cli.flag("smoke", "reduced-size CI run; skips paper-scale shape checks");
+      args.opts = runOptions(cli);
+      if (cli.helpRequested()) {
+        std::printf("%s", cli.helpText().c_str());
+        std::exit(0);
+      }
+      cli.finish();
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s\n%s", e.what(), cli.helpText().c_str());
+      std::exit(2);
+    }
+    return args;
+  }
+};
 
 /// Worker count for a shared caller-participates pool: the calling thread
 /// plus this many workers give exactly effectiveJobs() concurrent bodies

@@ -13,16 +13,11 @@
 using namespace dps;
 
 int main(int argc, char** argv) {
-  Cli cli(argc, argv);
   // --smoke shrinks the sweep (1296^2 matrix, coarse granularities only) so CI
   // can exercise the full bench pipeline in well under a second.
-  const bool smoke = cli.flag("smoke", "reduced-size CI run; skips paper-scale shape checks");
-  const auto opts = bench::runOptions(cli);
-  if (cli.helpRequested()) {
-    std::printf("%s", cli.helpText().c_str());
-    return 0;
-  }
-  cli.finish();
+  const auto args = bench::BenchArgs::parse(argc, argv, /*withSmoke=*/true);
+  const bool smoke = args.smoke;
+  const auto& opts = args.opts;
 
   const std::int32_t n = smoke ? 1296 : 2592;
   auto lu = [&](std::int32_t r, std::int32_t workers) {

@@ -27,13 +27,7 @@ std::vector<double> efficiencies(const core::RunResult& r) {
 } // namespace
 
 int main(int argc, char** argv) {
-  Cli cli(argc, argv);
-  const auto opts = bench::runOptions(cli);
-  if (cli.helpRequested()) {
-    std::printf("%s", cli.helpText().c_str());
-    return 0;
-  }
-  cli.finish();
+  const auto opts = bench::BenchArgs::parse(argc, argv).opts;
 
   auto cfg = bench::paperLu(324, 8); // 8 column blocks, basic graph
   auto cfg4 = cfg;

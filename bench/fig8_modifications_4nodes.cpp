@@ -15,13 +15,7 @@
 using namespace dps;
 
 int main(int argc, char** argv) {
-  Cli cli(argc, argv);
-  const auto opts = bench::runOptions(cli);
-  if (cli.helpRequested()) {
-    std::printf("%s", cli.helpText().c_str());
-    return 0;
-  }
-  cli.finish();
+  const auto opts = bench::BenchArgs::parse(argc, argv).opts;
 
   exp::Campaign campaign(bench::paperSettings());
   const std::size_t iRef = campaign.add(bench::paperLu(648, 4), {}, /*fidelitySeed=*/8);

@@ -52,13 +52,7 @@ Row measure(const std::string& label, core::SimConfig cfg, const lu::LuConfig& l
 } // namespace
 
 int main(int argc, char** argv) {
-  Cli cli(argc, argv);
-  const auto opts = bench::runOptions(cli);
-  if (cli.helpRequested()) {
-    std::printf("%s", cli.helpText().c_str());
-    return 0;
-  }
-  cli.finish();
+  const auto opts = bench::BenchArgs::parse(argc, argv).opts;
 
   const auto lucfg = bench::paperLu(216, 8); // the Table 1 configuration
   const auto usModel = lu::KernelCostModel::ultraSparc440();

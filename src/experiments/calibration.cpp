@@ -1,5 +1,8 @@
 #include "experiments/calibration.hpp"
 
+#include <cmath>
+#include <vector>
+
 #include "core/engine.hpp"
 #include "flow/graph.hpp"
 #include "flow/ops.hpp"
@@ -60,9 +63,11 @@ private:
   std::int64_t count_ = 0;
 };
 
-/// Mean cross-node transfer duration for `rounds` probes of `bytes` each,
-/// serialized one at a time (flow control 1) so they never contend.
-SimDuration probeMean(const core::SimConfig& cfg, int rounds, std::size_t bytes) {
+/// Cross-node transfer durations (in trace order) for `rounds` probes of
+/// `bytes` each, serialized one at a time (flow control 1) so they never
+/// contend.
+std::vector<SimDuration> probeDurations(const core::SimConfig& cfg, int rounds,
+                                        std::size_t bytes) {
   flow::FlowGraph g;
   const auto sender = g.addGroup("sender");
   const auto receiver = g.addGroup("receiver");
@@ -87,27 +92,38 @@ SimDuration probeMean(const core::SimConfig& cfg, int rounds, std::size_t bytes)
   auto result = engine.run(prog);
   DPS_CHECK(result.trace != nullptr, "calibration needs trace recording");
 
-  SimDuration total{};
-  std::size_t n = 0;
+  std::vector<SimDuration> durations;
+  durations.reserve(static_cast<std::size_t>(rounds));
   for (const auto& t : result.trace->transfers()) {
     if (t.src == t.dst) continue;
-    total += t.end - t.start;
-    ++n;
+    durations.push_back(t.end - t.start);
   }
-  DPS_CHECK(n > 0, "calibration probes produced no transfers");
-  return SimDuration{total.count() / static_cast<std::int64_t>(n)};
+  DPS_CHECK(!durations.empty(), "calibration probes produced no transfers");
+  return durations;
+}
+
+SimDuration meanOf(const std::vector<SimDuration>& durations) {
+  SimDuration total{};
+  for (SimDuration d : durations) total += d;
+  return SimDuration{total.count() / static_cast<std::int64_t>(durations.size())};
 }
 
 } // namespace
 
-CalibrationResult calibratePlatform(const core::SimConfig& referenceCfg, int rounds,
+CalibrationResult calibratePlatform(const core::SimConfig& referenceCfg,
+                                    std::uint64_t fidelitySeed, int rounds,
                                     std::size_t smallBytes, std::size_t largeBytes) {
   DPS_CHECK(rounds > 0, "calibration needs probes");
   DPS_CHECK(largeBytes > smallBytes, "probe sizes must differ");
+  core::SimConfig cfg = referenceCfg;
+  cfg.fidelity.seed = fidelitySeed;
+
   CalibrationResult fit;
-  fit.smallMean = probeMean(referenceCfg, rounds, smallBytes);
-  fit.largeMean = probeMean(referenceCfg, rounds, largeBytes);
-  fit.probeCount = static_cast<std::size_t>(rounds) * 2;
+  const auto smallProbes = probeDurations(cfg, rounds, smallBytes);
+  const auto largeProbes = probeDurations(cfg, rounds, largeBytes);
+  fit.smallMean = meanOf(smallProbes);
+  fit.largeMean = meanOf(largeProbes);
+  fit.probeCount = smallProbes.size() + largeProbes.size();
 
   // Two-point fit of t = l + s/b.  The envelope adds a constant to both
   // probe sizes, so it cancels in the bandwidth estimate.
@@ -117,7 +133,25 @@ CalibrationResult calibratePlatform(const core::SimConfig& referenceCfg, int rou
   fit.latency =
       fit.smallMean - seconds(static_cast<double>(smallBytes) / fit.bytesPerSec);
   DPS_CHECK(fit.latency > SimDuration::zero(), "fitted negative latency");
+
+  // Goodness of fit over the individual probes (the means sit on the fitted
+  // line by construction; the spread around it does not).
+  double residual = 0;
+  auto accumulate = [&](const std::vector<SimDuration>& probes, std::size_t bytes) {
+    const double model =
+        toSeconds(fit.latency) + static_cast<double>(bytes) / fit.bytesPerSec;
+    for (SimDuration d : probes) residual += std::abs(toSeconds(d) - model) / model;
+  };
+  accumulate(smallProbes, smallBytes);
+  accumulate(largeProbes, largeBytes);
+  fit.residual = residual / static_cast<double>(fit.probeCount);
   return fit;
+}
+
+CalibrationResult calibratePlatform(const core::SimConfig& referenceCfg, int rounds,
+                                    std::size_t smallBytes, std::size_t largeBytes) {
+  return calibratePlatform(referenceCfg, referenceCfg.fidelity.seed, rounds, smallBytes,
+                           largeBytes);
 }
 
 net::PlatformProfile applyCalibration(net::PlatformProfile base, const CalibrationResult& fit) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/config.hpp"
 #include "net/profile.hpp"
@@ -23,10 +24,25 @@ struct CalibrationResult {
   std::size_t probeCount = 0;
   SimDuration smallMean{};   // mean duration of the small-message probes
   SimDuration largeMean{};   // mean duration of the large-message probes
+  /// Goodness of fit: mean relative deviation |observed - (l + s/b)| /
+  /// (l + s/b) over every individual probe.  0 on a noiseless platform;
+  /// grows with fidelity jitter — a large residual means the two-point
+  /// model explains the machine poorly and a search (exp::autocal) is
+  /// worth its budget.
+  double residual = 0;
 };
 
-/// Measures l and b under `referenceCfg` (which should be a reference /
-/// fidelity configuration).  `rounds` probes are sent per message size.
+/// Measures l and b under `referenceCfg` with the fidelity "machine state"
+/// pinned to `fidelitySeed` (overriding whatever seed the config carries),
+/// so repeated calibrations are reproducible without mutating ambient
+/// config state.  `rounds` probes are sent per message size.
+CalibrationResult calibratePlatform(const core::SimConfig& referenceCfg,
+                                    std::uint64_t fidelitySeed, int rounds = 16,
+                                    std::size_t smallBytes = 256,
+                                    std::size_t largeBytes = 1 << 20);
+
+/// Forwarding shim: calibrates under the seed already present in
+/// `referenceCfg.fidelity`.
 CalibrationResult calibratePlatform(const core::SimConfig& referenceCfg, int rounds = 16,
                                     std::size_t smallBytes = 256,
                                     std::size_t largeBytes = 1 << 20);

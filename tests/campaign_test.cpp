@@ -168,6 +168,68 @@ TEST(CampaignTest, JsonAndCsvEmitters) {
   EXPECT_NE(c.find("\"tiny \"\"quoted\"\"\""), std::string::npos);
 }
 
+TEST(CampaignTest, EmptyCampaignEmittersAreWellFormed) {
+  // An empty sweep is legal: zero observations, zero-count aggregates, and
+  // emitters that still produce valid JSON / a CSV header.
+  const Campaign campaign;
+  EXPECT_EQ(campaign.size(), 0u);
+  const auto result = campaign.run(/*jobs=*/2);
+  EXPECT_TRUE(result.observations.empty());
+  EXPECT_TRUE(result.errors().empty());
+  const auto agg = result.aggregate();
+  EXPECT_EQ(agg.measuredSec.count(), 0u);
+  EXPECT_DOUBLE_EQ(agg.error.mean(), 0.0);
+
+  const std::string j = result.jsonString();
+  EXPECT_NE(j.find("\"observations\":[]"), std::string::npos);
+  EXPECT_NE(j.find("\"aggregate\":{"), std::string::npos);
+
+  std::ostringstream csv;
+  result.writeCsv(csv);
+  EXPECT_EQ(csv.str(),
+            "label,n,r,workers,variant,plan,fidelity_seed,measured_sec,predicted_sec,error\n");
+}
+
+TEST(CampaignTest, SinglePointSweepAggregatesDegenerate) {
+  // A one-point grid: aggregates collapse to that observation (stddev 0).
+  Campaign campaign;
+  SweepGrid grid;
+  grid.base = tinyConfig();
+  campaign.add(grid);
+  ASSERT_EQ(campaign.size(), 1u);
+  const auto result = campaign.run(1);
+  const auto agg = result.aggregate();
+  EXPECT_EQ(agg.measuredSec.count(), 1u);
+  EXPECT_DOUBLE_EQ(agg.measuredSec.mean(), result.observations[0].measuredSec);
+  EXPECT_DOUBLE_EQ(agg.measuredSec.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.measuredSec.min(), agg.measuredSec.max());
+  EXPECT_NE(result.jsonString().find("\"aggregate\":{\"measured_sec\":{\"count\":1"),
+            std::string::npos);
+}
+
+TEST(CampaignTest, CsvQuotesLabelsContainingCommas) {
+  Campaign campaign;
+  campaign.add(tinyConfig(), {}, 1, mall::RemovalPolicy::MigrateColumns,
+               "sweep, with, commas");
+  const auto result = campaign.run(1);
+  std::ostringstream csv;
+  result.writeCsv(csv);
+  const std::string c = csv.str();
+  // The label lands in one quoted field; the commas stay inside it.
+  EXPECT_NE(c.find("\"sweep, with, commas\","), std::string::npos);
+  // Data row = header column count: splitting on commas outside quotes
+  // yields exactly 10 fields.
+  const std::string row = c.substr(c.find('\n') + 1);
+  int fields = 1;
+  bool quoted = false;
+  for (char ch : row) {
+    if (ch == '"') quoted = !quoted;
+    if (ch == ',' && !quoted) ++fields;
+    if (ch == '\n') break;
+  }
+  EXPECT_EQ(fields, 10);
+}
+
 TEST(CampaignTest, ExceptionsFromWorkersPropagate) {
   Campaign campaign;
   auto bad = tinyConfig();

@@ -90,6 +90,42 @@ TEST(CalibrationTest, MeasuredFitMatchesAnalyticFold) {
               toSeconds(analytic.latency) * 0.3);
 }
 
+TEST(CalibrationTest, ExplicitSeedOverridesAmbientConfigState) {
+  ScenarioRunner runner;
+  // The seed parameter, not the seed embedded in the config, decides the
+  // machine state: same config + same explicit seed => identical fits.
+  const auto cfg = runner.referenceConfig(/*fidelitySeed=*/1);
+  const auto a = calibratePlatform(cfg, std::uint64_t{42}, 8);
+  const auto b = calibratePlatform(cfg, std::uint64_t{42}, 8);
+  const auto c = calibratePlatform(cfg, std::uint64_t{43}, 8);
+  EXPECT_EQ(a.latency, b.latency);
+  EXPECT_EQ(a.bytesPerSec, b.bytesPerSec);
+  EXPECT_EQ(a.residual, b.residual);
+  EXPECT_NE(a.smallMean, c.smallMean); // different machine state
+
+  // The forwarding shim uses the config's own seed.
+  const auto viaShim = calibratePlatform(cfg, 8);
+  const auto explicitSame = calibratePlatform(cfg, cfg.fidelity.seed, 8);
+  EXPECT_EQ(viaShim.latency, explicitSame.latency);
+  EXPECT_EQ(viaShim.bytesPerSec, explicitSame.bytesPerSec);
+}
+
+TEST(CalibrationTest, ResidualReflectsFidelityNoise) {
+  // Noiseless platform: the two-point model explains every probe exactly.
+  core::SimConfig plain;
+  plain.profile = net::ultraSparc440();
+  plain.mode = core::ExecutionMode::Pdexec;
+  const auto clean = calibratePlatform(plain, 8);
+  EXPECT_LT(clean.residual, 1e-6);
+
+  // Through the fidelity layer the per-probe jitter shows up as a strictly
+  // positive (but still small) residual.
+  ScenarioRunner runner;
+  const auto noisy = calibratePlatform(runner.referenceConfig(7), std::uint64_t{7}, 16);
+  EXPECT_GT(noisy.residual, clean.residual);
+  EXPECT_LT(noisy.residual, 0.5);
+}
+
 TEST(CalibrationTest, CalibratedPredictorStaysAccurate) {
   // Swap the analytic calibration for the measured one and re-run a
   // scenario: prediction quality must hold.

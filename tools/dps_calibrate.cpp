@@ -1,0 +1,137 @@
+// dps_calibrate — automated calibration search for the simulator's platform
+// parameters (paper §4: parameters "must be measured or estimated separately
+// for each target parallel machine").
+//
+// Pipeline: a seeded two-point ping-pong fit (exp::calibratePlatform) warm-
+// starts the search; an exploration strategy (seeded random or grid) sweeps
+// the bounded parameter box; coordinate descent refines the incumbent.
+// Every candidate is scored on the cross-app validation set (LU at several
+// sizes/block sizes, a dynamic allocation plan, a Jacobi stencil) by the
+// mean |signed error| of predicted vs reference runs, with the
+// (candidate, scenario) simulations fanned out over --jobs pool workers.
+//
+// The warm start enters the evaluation history, so the reported best fit
+// never scores worse than the two-point fit; the process exits non-zero if
+// that invariant is ever violated.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "experiments/autocal.hpp"
+#include "experiments/calibration.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace dps;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  std::int64_t budget = 0, jobs = 0, seed = 0, rounds = 0;
+  std::string jsonPath, strategyName;
+  try {
+    budget = cli.integer("budget", 32, "total candidate evaluations (warm start included)");
+    jobs = cli.integer("jobs", 0, "concurrent simulations (0 = hardware concurrency)");
+    seed = cli.integer("seed", 1, "search + fidelity machine-state seed");
+    rounds = cli.integer("rounds", 16, "ping-pong probes per message size for the warm start");
+    strategyName = cli.str("strategy", "random", "exploration strategy: random | grid");
+    jsonPath = cli.str("json", "", "write the full report to this JSON file");
+    if (cli.helpRequested()) {
+      std::printf("%s", cli.helpText().c_str());
+      return 0;
+    }
+    cli.finish();
+    if (budget < 1) throw ConfigError("--budget must be >= 1");
+    if (jobs < 0 || jobs > 4096) throw ConfigError("--jobs must be in [0, 4096]");
+    if (rounds < 1 || rounds > 65536) throw ConfigError("--rounds must be in [1, 65536]");
+    if (strategyName != "random" && strategyName != "grid")
+      throw ConfigError("--strategy must be 'random' or 'grid', got '" + strategyName + "'");
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), cli.helpText().c_str());
+    return 2;
+  }
+
+  const exp::EngineSettings settings; // the reference fidelity profile
+  const auto fidelitySeed = static_cast<std::uint64_t>(seed);
+
+  // Warm start: the seeded two-point ping-pong fit through the fidelity
+  // layer, exactly what a calibration benchmark measures on real hardware.
+  const exp::ScenarioRunner runner(settings);
+  const auto fit = exp::calibratePlatform(runner.referenceConfig(fidelitySeed), fidelitySeed,
+                                          static_cast<int>(rounds));
+  exp::Candidate warm;
+  warm.profile = exp::applyCalibration(settings.profile, fit);
+  std::printf("warm start (two-point fit, seed %lld): l=%.1fus  b=%.2fMB/s  residual=%.4f\n",
+              static_cast<long long>(seed), toMicros(fit.latency), fit.bytesPerSec / 1e6,
+              fit.residual);
+
+  const exp::ParamSpace space = exp::ParamSpace::around(warm);
+  const exp::ScenarioObjective objective(settings, warm, space,
+                                         exp::ObjectiveSpec::validationSet(),
+                                         static_cast<unsigned>(jobs));
+
+  std::printf("validation set (%zu scenarios):\n", objective.scenarioCount());
+  for (std::size_t i = 0; i < objective.scenarioCount(); ++i)
+    std::printf("  %-40s reference %.3fs\n", objective.scenarioLabel(i).c_str(),
+                objective.referenceSec(i));
+
+  // Budget split: 1 warm start, ~half exploration, the rest refinement.
+  const auto total = static_cast<std::size_t>(budget);
+  const std::size_t explore = (total - 1) / 2;
+  std::vector<std::shared_ptr<exp::SearchStrategy>> strategies;
+  if (strategyName == "grid")
+    strategies.push_back(std::make_shared<exp::GridSearch>(explore));
+  else
+    strategies.push_back(std::make_shared<exp::RandomSearch>(explore, fidelitySeed));
+  strategies.push_back(std::make_shared<exp::CoordinateDescent>());
+
+  exp::SearchOptions options;
+  options.budget = total;
+  options.jobs = static_cast<unsigned>(jobs);
+  options.warmStart = space.encode(warm);
+  const auto result = exp::runCalibrationSearch(objective, space, strategies, options);
+
+  // Ranked report: best evaluations first.
+  Table t("calibration search (" + std::to_string(result.history.records.size()) +
+          " evaluations, jobs=" + std::to_string(result.jobs) + ")");
+  t.header({"rank", "eval#", "strategy", "mean |error|"});
+  const auto order = result.ranking();
+  const std::size_t show = std::min<std::size_t>(order.size(), 8);
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto& rec = result.history.records[order[i]];
+    t.row({std::to_string(i + 1), std::to_string(rec.index), rec.strategy,
+           Table::num(rec.score, 5)});
+  }
+  t.print(std::cout);
+
+  const auto& best = result.best();
+  const double warmScore = result.warmStart().score;
+  const exp::Candidate fitted = space.apply(warm, best.x);
+  std::printf("\nbest fit (%s, eval %zu): mean |error| %.5f vs warm start %.5f\n",
+              best.strategy.c_str(), best.index, best.score, warmScore);
+  std::printf("  latency        %.1f us\n", toMicros(fitted.profile.latency));
+  std::printf("  bandwidth      %.2f MB/s\n", fitted.profile.bandwidthBytesPerSec / 1e6);
+  std::printf("  step overhead  %.1f us\n", toMicros(fitted.profile.perStepOverhead));
+  std::printf("  kernel scale   %.4f\n", fitted.kernelScale);
+  std::printf("per-scenario errors of the best fit:\n");
+  for (std::size_t i = 0; i < best.errors.size(); ++i)
+    std::printf("  %-40s %+.4f\n", objective.scenarioLabel(i).c_str(), best.errors[i]);
+
+  if (!jsonPath.empty()) {
+    std::ofstream os(jsonPath);
+    if (!os) {
+      std::fprintf(stderr, "cannot write JSON to %s\n", jsonPath.c_str());
+      return 1;
+    }
+    exp::writeReportJson(os, result, objective, space, warm);
+    os << "\n";
+    std::printf("wrote %s\n", jsonPath.c_str());
+  }
+
+  if (best.score > warmScore) {
+    std::fprintf(stderr, "best fit scored worse than the warm start — search bug\n");
+    return 1;
+  }
+  return 0;
+}
