@@ -125,8 +125,11 @@ inline void check(bool ok, const std::string& claim) {
 
 /// Writes the bench's JSON artifact: name, job count, check verdicts and
 /// (when the bench is campaign-based) the full observation set + aggregates.
+/// `extraJson` lets non-Campaign benches (e.g. the sched cluster sweep)
+/// append their own top-level members: pass `"key":value[,...]` fragments.
 inline void writeJson(const std::string& path, const std::string& benchName,
-                      const RunOptions& opts, const exp::CampaignResult* campaign) {
+                      const RunOptions& opts, const exp::CampaignResult* campaign,
+                      const std::string& extraJson = {}) {
   std::ofstream os(path);
   if (!os) {
     std::fprintf(stderr, "cannot write JSON to %s\n", path.c_str());
@@ -148,6 +151,7 @@ inline void writeJson(const std::string& path, const std::string& benchName,
     os << ",\"campaign\":";
     campaign->writeJson(os);
   }
+  if (!extraJson.empty()) os << "," << extraJson;
   os << "}\n";
   std::printf("wrote %s\n", path.c_str());
 }
@@ -155,8 +159,9 @@ inline void writeJson(const std::string& path, const std::string& benchName,
 /// Prints the verdict summary, emits JSON when requested, and returns the
 /// process exit code.
 inline int finish(const std::string& benchName = {}, const RunOptions& opts = {},
-                  const exp::CampaignResult* campaign = nullptr) {
-  if (!opts.jsonPath.empty()) writeJson(opts.jsonPath, benchName, opts, campaign);
+                  const exp::CampaignResult* campaign = nullptr,
+                  const std::string& extraJson = {}) {
+  if (!opts.jsonPath.empty()) writeJson(opts.jsonPath, benchName, opts, campaign, extraJson);
   const int failed = g_checksFailed.load(std::memory_order_relaxed);
   if (failed > 0) {
     std::printf("\n%d shape check(s) FAILED\n", failed);

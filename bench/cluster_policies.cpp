@@ -1,0 +1,110 @@
+// Cluster scheduling-policy campaign: the sched:: subsystem's counterpart
+// of the figure benches.
+//
+// One profile table (built once, fanned over --jobs engines) feeds a sweep
+// of (workload seed x arrival rate) cluster simulations under every policy.
+// The [CHECK] claims encode what the malleable-scheduling literature — and
+// the paper's §9 outlook — predict:
+//   * equipartition beats the rigid FCFS baseline on mean job slowdown, on
+//     the default workload and on the sweep aggregate;
+//   * the efficiency-driven shrink policy releases nodes (reallocations
+//     happen) and still completes every job;
+//   * every simulation conserves nodes (utilization in (0, 1]).
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "sched/cluster.hpp"
+#include "support/json.hpp"
+
+using namespace dps;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, /*withSmoke=*/true);
+  const std::int32_t nodes = 8;
+  const std::vector<std::uint64_t> seeds =
+      args.smoke ? std::vector<std::uint64_t>{1, 2} : std::vector<std::uint64_t>{1, 2, 3, 4, 5};
+  const std::vector<double> rates =
+      args.smoke ? std::vector<double>{0.15} : std::vector<double>{0.08, 0.15, 0.3};
+
+  const auto classes = sched::Workload::defaultMix(nodes);
+  const sched::ProfileSettings settings;
+  const auto profiles = sched::JobProfileTable::build(classes, nodes, settings,
+                                                      bench::effectiveJobs(args.opts));
+  const auto ccfg = sched::ClusterConfig::fromProfile(settings.platform, nodes);
+
+  struct PolicyAgg {
+    OnlineStats slowdown, utilization, wait;
+    std::int32_t reallocations = 0;
+  };
+  std::map<std::string, PolicyAgg> agg;
+  std::ostringstream pointsJson;
+  double defaultFcfs = 0, defaultEquip = 0; // seed 1, rate 0.15 — the acceptance point
+  bool firstPoint = true;
+
+  for (double rate : rates) {
+    Table t("cluster of " + std::to_string(nodes) + " nodes, arrival rate " +
+            Table::num(rate, 2) + "/s (mean slowdown | utilization)");
+    std::vector<std::string> head{"seed"};
+    for (const auto& name : sched::policyNames()) head.push_back(name);
+    t.header(head);
+    for (std::uint64_t seed : seeds) {
+      sched::WorkloadConfig wcfg;
+      wcfg.seed = seed;
+      wcfg.jobCount = args.smoke ? 8 : 12;
+      wcfg.arrivalRatePerSec = rate;
+      wcfg.classes = classes;
+      const auto workload = sched::Workload::generate(wcfg, nodes);
+
+      std::vector<std::string> cells{std::to_string(seed)};
+      for (const auto& name : sched::policyNames()) {
+        auto policy = sched::makePolicy(name);
+        const auto m = sched::simulateCluster(ccfg, workload, profiles, *policy);
+        bench::check(!m.jobs.empty() && m.utilization > 0 && m.utilization <= 1.0 + 1e-9,
+                     name + " seed " + std::to_string(seed) + " rate " + Table::num(rate, 2) +
+                         ": all jobs served, utilization in (0,1]");
+        cells.push_back(Table::num(m.meanSlowdown, 2) + " | " + Table::pct(m.utilization, 0));
+        PolicyAgg& a = agg[name];
+        a.slowdown.add(m.meanSlowdown);
+        a.utilization.add(m.utilization);
+        a.wait.add(m.meanWaitSec);
+        a.reallocations += m.reallocations;
+        if (seed == 1 && rate == 0.15) {
+          if (name == "fcfs-rigid") defaultFcfs = m.meanSlowdown;
+          if (name == "equipartition") defaultEquip = m.meanSlowdown;
+        }
+        if (!firstPoint) pointsJson << ",";
+        firstPoint = false;
+        pointsJson << "{\"seed\":" << seed << ",\"rate\":" << jsonDouble(rate)
+                   << ",\"metrics\":" << m.jsonString() << "}";
+      }
+      t.row(cells);
+    }
+    t.print(std::cout);
+  }
+
+  bench::check(defaultEquip > 0 && defaultEquip < defaultFcfs,
+               "equipartition beats fcfs-rigid on mean slowdown (default workload)");
+  bench::check(agg["equipartition"].slowdown.mean() < agg["fcfs-rigid"].slowdown.mean(),
+               "equipartition beats fcfs-rigid on mean slowdown (sweep aggregate)");
+  bench::check(agg["efficiency-shrink"].reallocations > 0,
+               "efficiency-shrink policy actually releases nodes");
+  bench::check(agg["equipartition"].wait.mean() < agg["fcfs-rigid"].wait.mean(),
+               "malleable scheduling shortens mean job wait vs rigid FCFS");
+
+  std::ostringstream extra;
+  extra << "\"aggregate\":{";
+  bool first = true;
+  for (const auto& [name, a] : agg) {
+    if (!first) extra << ",";
+    first = false;
+    extra << "\"" << jsonEscape(name) << "\":{\"mean_slowdown\":" << jsonDouble(a.slowdown.mean())
+          << ",\"mean_utilization\":" << jsonDouble(a.utilization.mean())
+          << ",\"mean_wait_sec\":" << jsonDouble(a.wait.mean())
+          << ",\"reallocations\":" << a.reallocations << "}";
+  }
+  extra << "},\"points\":[" << pointsJson.str() << "]";
+  return bench::finish("cluster_policies", args.opts, nullptr, extra.str());
+}

@@ -15,9 +15,17 @@
 // answer up.  The job-level queueing itself runs on the same discrete-event
 // kernel.
 //
+// Batch mode (--batch FILE) profiles a *heterogeneous* set of shrink
+// queries concurrently on the same shared pool — one line per job, one
+// result table per job.  Lines are `n=<int> r=<int> workers=<int>
+// [threshold=<float>]`; blank lines and `#` comments are skipped:
+//
 //   $ ./examples/cluster_server --jobs=6 --nodes=16 --pool-jobs=8
+//   $ ./examples/cluster_server --batch queries.txt --pool-jobs=8
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -50,16 +58,34 @@ struct WhatIf {
   double shrinkAt = 0;        // when the released nodes actually free up
 };
 
+/// All what-if answers for one job configuration.
+struct WhatIfSet {
+  std::vector<WhatIf> answers; // [0] = static (never shrink)
+  std::vector<trace::EfficiencyPoint> staticEfficiency;
+};
+
 /// Simulates "release workers/2 nodes after iteration k" for every candidate
-/// k on the shared pool; answers[0] is the static (never-shrink) run, whose
-/// per-iteration efficiency curve comes back in `staticEfficiency` for the
-/// admission policy to scan.
-std::vector<WhatIf> evaluateWhatIfs(ThreadPool& pool, const lu::LuConfig& cfg,
-                                    std::vector<trace::EfficiencyPoint>& staticEfficiency) {
+/// k of every job on the shared pool.  The (job, candidate) pairs of the
+/// whole — possibly heterogeneous — batch are flattened into one index
+/// space, so small and large jobs interleave across the pool instead of
+/// serializing per job.  answers[0] of each set is the static run, whose
+/// per-iteration efficiency curve feeds the admission policy.
+std::vector<WhatIfSet> evaluateWhatIfs(ThreadPool& pool, const std::vector<lu::LuConfig>& cfgs) {
   const auto model = lu::KernelCostModel::ultraSparc440();
-  std::vector<WhatIf> answers(static_cast<std::size_t>(cfg.levels() - 1));
-  parallelFor(pool, answers.size(), [&](std::size_t q) {
-    WhatIf& ans = answers[q];
+  struct Pair {
+    std::size_t job;
+    std::size_t q;
+  };
+  std::vector<WhatIfSet> sets(cfgs.size());
+  std::vector<Pair> pairs;
+  for (std::size_t j = 0; j < cfgs.size(); ++j) {
+    sets[j].answers.resize(static_cast<std::size_t>(cfgs[j].levels() - 1));
+    for (std::size_t q = 0; q < sets[j].answers.size(); ++q) pairs.push_back(Pair{j, q});
+  }
+  parallelFor(pool, pairs.size(), [&](std::size_t i) {
+    const lu::LuConfig& cfg = cfgs[pairs[i].job];
+    const std::size_t q = pairs[i].q;
+    WhatIf& ans = sets[pairs[i].job].answers[q];
     ans.iteration = static_cast<std::int64_t>(q); // 0 = static
     core::SimEngine engine(simConfig());
     lu::LuBuild build = lu::buildLu(cfg, model, false);
@@ -82,11 +108,11 @@ std::vector<WhatIf> evaluateWhatIfs(ThreadPool& pool, const lu::LuConfig& cfg,
         }
       }
     } else {
-      staticEfficiency = trace::dynamicEfficiency(*run.trace, "iteration", simEpoch(),
-                                                  simEpoch() + run.makespan);
+      sets[pairs[i].job].staticEfficiency = trace::dynamicEfficiency(
+          *run.trace, "iteration", simEpoch(), simEpoch() + run.makespan);
     }
   });
-  return answers;
+  return sets;
 }
 
 struct JobProfile {
@@ -179,6 +205,92 @@ ServiceResult serve(std::int32_t nodes, std::int32_t jobCount, std::int32_t jobN
   return res;
 }
 
+/// One line of a --batch file: an LU shrink query at its own size/allocation.
+struct BatchQuery {
+  lu::LuConfig cfg;
+  double threshold = 0.35;
+};
+
+/// Parses `n=.. r=.. workers=.. [threshold=..]` lines; '#' starts a comment.
+std::vector<BatchQuery> readBatchFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot read batch file " + path);
+  std::vector<BatchQuery> queries;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string token;
+    BatchQuery q;
+    q.cfg.n = 0;
+    bool any = false;
+    while (ls >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos)
+        throw ConfigError(path + ":" + std::to_string(lineNo) + ": expected key=value, got '" +
+                          token + "'");
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      try {
+        std::size_t consumed = 0;
+        if (key == "n") q.cfg.n = std::stoi(value, &consumed);
+        else if (key == "r") q.cfg.r = std::stoi(value, &consumed);
+        else if (key == "workers") q.cfg.workers = std::stoi(value, &consumed);
+        else if (key == "threshold") q.threshold = std::stod(value, &consumed);
+        else
+          throw ConfigError(path + ":" + std::to_string(lineNo) + ": unknown key '" + key + "'");
+        if (consumed != value.size()) throw std::invalid_argument(value);
+      } catch (const std::invalid_argument&) {
+        throw ConfigError(path + ":" + std::to_string(lineNo) + ": bad value for '" + key + "'");
+      } catch (const std::out_of_range&) {
+        throw ConfigError(path + ":" + std::to_string(lineNo) + ": bad value for '" + key + "'");
+      }
+      any = true;
+    }
+    if (!any) continue; // blank / comment-only line
+    if (q.cfg.n <= 0) throw ConfigError(path + ":" + std::to_string(lineNo) + ": missing n=");
+    q.cfg.validate();
+    if (q.cfg.workers < 2)
+      throw ConfigError(path + ":" + std::to_string(lineNo) + ": shrink needs workers >= 2");
+    queries.push_back(q);
+  }
+  if (queries.empty()) throw ConfigError("batch file " + path + " contains no queries");
+  return queries;
+}
+
+/// Prints one job's what-if table and returns its efficiency-driven pick.
+JobProfile reportJob(const std::string& title, const WhatIfSet& set, const lu::LuConfig& cfg,
+                     double threshold) {
+  Table w(title);
+  w.header({"shrink after it.", "runtime [s]", "vs static", "nodes freed at [s]"});
+  for (const auto& a : set.answers) {
+    if (a.iteration == 0) {
+      w.row({"never (static)", Table::num(a.duration, 1), "-", "-"});
+    } else {
+      w.row({std::to_string(a.iteration), Table::num(a.duration, 1),
+             Table::pct(a.duration / set.answers[0].duration - 1, 1),
+             Table::num(a.shrinkAt, 1)});
+    }
+  }
+  w.print(std::cout);
+
+  const JobProfile profile = profileJob(set.answers, set.staticEfficiency, cfg, threshold);
+  std::printf("  static runtime    : %.1fs\n", profile.staticDuration);
+  if (profile.shrinkIteration >= 1) {
+    std::printf("  efficiency < %.0f%% after iteration %lld -> release %d nodes at t=%.1fs\n",
+                threshold * 100.0, static_cast<long long>(profile.shrinkIteration),
+                cfg.workers / 2, profile.shrinkAt);
+    std::printf("  malleable runtime : %.1fs (+%.1f%%)\n\n", profile.malleableDuration,
+                (profile.malleableDuration / profile.staticDuration - 1) * 100.0);
+  } else {
+    std::printf("  efficiency never drops below %.0f%%: no shrink point chosen\n\n",
+                threshold * 100.0);
+  }
+  return profile;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -192,6 +304,8 @@ int main(int argc, char** argv) {
   const double threshold = cli.real("threshold", 0.35, "efficiency threshold for shrinking");
   const std::int64_t poolJobsRaw =
       cli.integer("pool-jobs", 0, "concurrent what-if simulations (0 = hardware concurrency)");
+  const std::string batchPath =
+      cli.str("batch", "", "file of heterogeneous shrink queries (one n=/r=/workers= line each)");
   if (poolJobsRaw < 0 || poolJobsRaw > 4096)
     throw ConfigError("--pool-jobs must be in [0, 4096], got " + std::to_string(poolJobsRaw));
   const auto poolJobs = static_cast<unsigned>(poolJobsRaw);
@@ -201,44 +315,46 @@ int main(int argc, char** argv) {
   }
   cli.finish();
 
-  lu::LuConfig cfg;
-  cfg.n = 2592;
-  cfg.r = 324;
-  cfg.workers = jobNodes;
-
   // The caller participates in pool sweeps, so jobs - 1 workers give exactly
   // `effectiveJobs` concurrent simulations (a worker-less pool runs inline).
   const unsigned effectiveJobs = poolJobs == 0 ? ThreadPool::hardwareJobs() : poolJobs;
   ThreadPool pool(effectiveJobs - 1);
 
+  if (!batchPath.empty()) {
+    // Batch what-if mode: profile every query of the file concurrently on
+    // the shared pool, then report one table per job.
+    const auto queries = readBatchFile(batchPath);
+    std::vector<lu::LuConfig> cfgs;
+    std::size_t candidates = 0;
+    for (const auto& q : queries) {
+      cfgs.push_back(q.cfg);
+      candidates += static_cast<std::size_t>(q.cfg.levels() - 1);
+    }
+    std::printf("batch what-if pool: %zu jobs, %zu candidate shrink points, %u concurrent "
+                "simulations\n\n",
+                queries.size(), candidates, effectiveJobs);
+    const auto sets = evaluateWhatIfs(pool, cfgs);
+    for (std::size_t j = 0; j < queries.size(); ++j) {
+      const lu::LuConfig& cfg = cfgs[j];
+      reportJob("job " + std::to_string(j) + ": " + std::to_string(cfg.n) + "x" +
+                    std::to_string(cfg.n) + " r=" + std::to_string(cfg.r) + " on " +
+                    std::to_string(cfg.workers) + " nodes",
+                sets[j], cfg, queries[j].threshold);
+    }
+    return 0;
+  }
+
+  lu::LuConfig cfg;
+  cfg.n = 2592;
+  cfg.r = 324;
+  cfg.workers = jobNodes;
+
   std::printf("what-if pool: simulating %d candidate shrink points for one LU job\n",
               cfg.levels() - 1);
   std::printf("(%dx%d, r=%d, %d nodes; %u concurrent simulations)\n", cfg.n, cfg.n, cfg.r,
               jobNodes, effectiveJobs);
-  std::vector<trace::EfficiencyPoint> staticEfficiency;
-  const auto answers = evaluateWhatIfs(pool, cfg, staticEfficiency);
-
-  Table w;
-  w.header({"shrink after it.", "runtime [s]", "vs static", "nodes freed at [s]"});
-  for (const auto& a : answers) {
-    if (a.iteration == 0) {
-      w.row({"never (static)", Table::num(a.duration, 1), "-", "-"});
-    } else {
-      w.row({std::to_string(a.iteration), Table::num(a.duration, 1),
-             Table::pct(a.duration / answers[0].duration - 1, 1), Table::num(a.shrinkAt, 1)});
-    }
-  }
-  w.print(std::cout);
-
-  const JobProfile profile = profileJob(answers, staticEfficiency, cfg, threshold);
-  std::printf("\n  static runtime    : %.1fs\n", profile.staticDuration);
-  if (profile.shrinkIteration >= 1) {
-    std::printf("  efficiency < %.0f%% after iteration %lld -> release %d nodes at t=%.1fs\n",
-                threshold * 100.0, static_cast<long long>(profile.shrinkIteration),
-                jobNodes / 2, profile.shrinkAt);
-    std::printf("  malleable runtime : %.1fs (+%.1f%%)\n", profile.malleableDuration,
-                (profile.malleableDuration / profile.staticDuration - 1) * 100.0);
-  }
+  const auto sets = evaluateWhatIfs(pool, {cfg});
+  const JobProfile profile = reportJob({}, sets[0], cfg, threshold);
 
   const auto staticRes = serve(nodes, jobCount, jobNodes, profile, false);
   const auto mallRes = serve(nodes, jobCount, jobNodes, profile, true);

@@ -10,6 +10,7 @@
 #include "experiments/campaign.hpp"
 #include "lu/app.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/thread_pool.hpp"
 
 namespace dps::exp {
@@ -17,11 +18,7 @@ namespace dps::exp {
 namespace {
 
 /// Round-trippable double formatting (same format the campaign emitters use).
-std::string fmtDouble(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+std::string fmtDouble(double v) { return jsonDouble(v); }
 
 } // namespace
 
@@ -104,7 +101,7 @@ std::vector<double> ParamSpace::center() const {
   return x;
 }
 
-ParamSpace ParamSpace::around(const Candidate& warmStart) {
+ParamSpace ParamSpace::around(const Candidate& warmStart, bool includeFidelityDims) {
   const double lat = toSeconds(warmStart.profile.latency);
   const double bw = warmStart.profile.bandwidthBytesPerSec;
   const double step = toSeconds(warmStart.profile.perStepOverhead);
@@ -114,6 +111,17 @@ ParamSpace ParamSpace::around(const Candidate& warmStart) {
   space.add(Param::BandwidthBytesPerSec, bw * 0.25, bw * 4.0);
   space.add(Param::PerStepOverheadSec, 0.0, std::max(step * 4.0, 1e-6));
   space.add(Param::KernelScale, 0.5, 2.0);
+  if (includeFidelityDims) {
+    const double local = toSeconds(warmStart.profile.localDelivery);
+    const double out = warmStart.profile.cpuPerOutgoingTransfer;
+    const double in = warmStart.profile.cpuPerIncomingTransfer;
+    const double compute = warmStart.profile.computeScale;
+    space.add(Param::LocalDeliverySec, 0.0, std::max(local * 4.0, 1e-6));
+    space.add(Param::CpuPerOutgoingTransfer, 0.0, std::max(out * 4.0, 0.04));
+    space.add(Param::CpuPerIncomingTransfer, 0.0, std::max(in * 4.0, 0.08));
+    DPS_CHECK(compute > 0, "warm start needs a positive compute scale");
+    space.add(Param::ComputeScale, compute * 0.5, compute * 2.0);
+  }
   return space;
 }
 

@@ -90,8 +90,13 @@ public:
 
   /// The default search box around a warm-start candidate: latency and
   /// bandwidth within [1/4, 4]x of the warm start, per-step overhead up to
-  /// 4x, kernel scale within [1/2, 2]x.
-  static ParamSpace around(const Candidate& warmStart);
+  /// 4x, kernel scale within [1/2, 2]x.  With `includeFidelityDims` the box
+  /// additionally searches the dimensions the fidelity layer perturbs —
+  /// local delivery (per-message overhead), the per-transfer CPU costs and
+  /// the compute-speed scale (bandwidth derating shows up as effective
+  /// latency/bandwidth, these as the residual per-message/CPU error) — the
+  /// ROADMAP's "search the fidelity-layer dimensions themselves".
+  static ParamSpace around(const Candidate& warmStart, bool includeFidelityDims = false);
 
 private:
   std::vector<ParamDim> dims_;

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "support/json.hpp"
+
 namespace dps::exp {
 
 namespace {
@@ -15,11 +17,7 @@ std::vector<T> orDefault(const std::vector<T>& dim, T fallback) {
 }
 
 /// Round-trippable double formatting for the JSON/CSV emitters.
-std::string fmtDouble(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+std::string fmtDouble(double v) { return dps::jsonDouble(v); }
 
 /// Escapes an embedded field for CSV: double any inner quote (RFC 4180).
 std::string csvEscape(const std::string& s) {
@@ -40,27 +38,7 @@ void writeStats(std::ostream& os, const OnlineStats& s) {
 
 } // namespace
 
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string jsonEscape(const std::string& s) { return dps::jsonEscape(s); }
 
 std::vector<CampaignPoint> SweepGrid::expand() const {
   const auto ns = orDefault(n, base.n);

@@ -11,11 +11,18 @@
 namespace dps::mall {
 
 std::string AllocationPlan::describe() const {
-  if (steps.empty()) return "static";
+  if (empty()) return "static";
   std::ostringstream os;
-  for (std::size_t i = 0; i < steps.size(); ++i) {
-    if (i) os << " + ";
-    os << "kill " << steps[i].threads.size() << " after it. " << steps[i].afterIteration;
+  bool first = true;
+  for (const RemovalStep& s : steps) {
+    if (!first) os << " + ";
+    first = false;
+    os << "kill " << s.threads.size() << " after it. " << s.afterIteration;
+  }
+  for (const GrowStep& g : grows) {
+    if (!first) os << " + ";
+    first = false;
+    os << "grow " << g.threads.size() << " after it. " << g.afterIteration;
   }
   return os.str();
 }
@@ -81,6 +88,8 @@ void LuMalleabilityController::onMarker(const std::string& name, std::int64_t va
   if (efficiencyPolicy_) evaluateEfficiency(value, when);
   for (const RemovalStep& step : plan_.steps)
     if (step.afterIteration == value) applyStep(step, value);
+  for (const GrowStep& step : plan_.grows)
+    if (step.afterIteration == value) applyGrow(step, value);
 
   if (policy_ == RemovalPolicy::MigrateColumns) {
     // Retry deferred migrations: the previously pinned column is movable now.
@@ -117,6 +126,64 @@ void LuMalleabilityController::applyStep(const RemovalStep& step, std::int64_t i
   }
 }
 
+void LuMalleabilityController::applyGrow(const GrowStep& step, std::int64_t iteration) {
+  for (std::int32_t t : step.threads) {
+    DPS_CHECK(removed_.count(t) > 0, "grow step re-adds a thread that was never removed");
+    removed_.erase(t);
+    // A thread still draining a pinned column was never engine-deactivated;
+    // activateThread is a no-op for it and the drain is simply abandoned.
+    pendingMigration_.erase(t);
+    engine_.activateThread(build_.workersGroup, t);
+    DPS_INFO("re-added thread ", t, " after iteration ", iteration);
+    if (policy_ == RemovalPolicy::MigrateColumns) rebalanceOnto(t, iteration);
+  }
+}
+
+void LuMalleabilityController::rebalanceOnto(std::int32_t thread, std::int64_t iteration) {
+  // Only columns whose panel factorization has not run yet carry future
+  // work; completed columns stay put (moving them buys nothing).  Column
+  // `iteration` is pinned exactly as during shrink migration.
+  const auto futureLoad = [&](std::int32_t t) {
+    std::int32_t load = 0;
+    for (std::int32_t col : build_.directory->columnsOf(t))
+      if (col > iteration) ++load;
+    return load;
+  };
+  std::vector<std::int32_t> active;
+  std::int32_t future = 0;
+  for (std::int32_t t = 0; t < build_.cfg.workers; ++t) {
+    if (removed_.count(t)) continue;
+    active.push_back(t);
+    future += futureLoad(t);
+  }
+  // Ceil target: with fewer future columns than workers the regrown thread
+  // still takes one whenever any donor holds strictly more than it — the
+  // point of growing is that re-added nodes carry work again.
+  const auto activeCount = static_cast<std::int32_t>(active.size());
+  const std::int32_t target = (future + activeCount - 1) / activeCount;
+  while (futureLoad(thread) < target) {
+    // Donor: the most loaded active thread (ties -> lowest index).
+    std::int32_t donor = -1;
+    std::int32_t donorLoad = 0;
+    for (std::int32_t t : active) {
+      if (t == thread) continue;
+      const std::int32_t load = futureLoad(t);
+      if (load > donorLoad) {
+        donorLoad = load;
+        donor = t;
+      }
+    }
+    if (donor < 0 || donorLoad <= futureLoad(thread)) break; // nothing to gain
+    // Move the donor's deepest trailing column: it carries the most
+    // remaining multiplication work.
+    std::int32_t col = -1;
+    for (std::int32_t c : build_.directory->columnsOf(donor))
+      if (c > iteration) col = c;
+    DPS_CHECK(col >= 0, "donor lost its future columns mid-rebalance");
+    growMigratedBytes_ += moveColumn(col, donor, thread);
+  }
+}
+
 std::int32_t LuMalleabilityController::leastLoadedActive() const {
   std::int32_t best = -1;
   std::size_t bestLoad = std::numeric_limits<std::size_t>::max();
@@ -137,12 +204,12 @@ void LuMalleabilityController::migrateColumns(std::int32_t fromThread, std::int6
     // Column `iteration` is pinned: its panel factorization is the next
     // compute segment on its current owner (see header).
     if (col == iteration) continue;
-    moveColumn(col, fromThread, leastLoadedActive());
+    shrinkMigratedBytes_ += moveColumn(col, fromThread, leastLoadedActive());
   }
 }
 
-void LuMalleabilityController::moveColumn(std::int32_t col, std::int32_t fromThread,
-                                          std::int32_t toThread) {
+std::uint64_t LuMalleabilityController::moveColumn(std::int32_t col, std::int32_t fromThread,
+                                                   std::int32_t toThread) {
   auto* from = dynamic_cast<lu::LuThreadState*>(
       engine_.threadStateDuringRun(build_.workersGroup, fromThread));
   auto* to = dynamic_cast<lu::LuThreadState*>(
@@ -173,8 +240,8 @@ void LuMalleabilityController::moveColumn(std::int32_t col, std::int32_t fromThr
   build_.directory->setOwner(col, toThread);
   engine_.injectTransfer(engine_.nodeOfThread(build_.workersGroup, fromThread),
                          engine_.nodeOfThread(build_.workersGroup, toThread), bytes);
-  migratedBytes_ += bytes;
   DPS_INFO("migrated column ", col, " from thread ", fromThread, " to ", toThread);
+  return bytes;
 }
 
 } // namespace dps::mall

@@ -1,5 +1,6 @@
 // Malleability controller: executes an allocation plan against a running
-// simulation (paper §6/§8, "kill N threads after iteration k").
+// simulation (paper §6/§8, "kill N threads after iteration k", extended to
+// the §9 direction of true dynamic allocation with grow steps).
 //
 // At each iteration marker the controller deactivates the scheduled worker
 // threads and migrates their column blocks to the remaining active workers
@@ -8,6 +9,12 @@
 // modeled).  The column whose panel factorization is about to run — column
 // `iteration` — stays pinned on its current owner until the next boundary;
 // a thread still holding pinned columns is deallocated once they migrate.
+//
+// Grow steps reverse the process: a previously removed worker is
+// reactivated at an iteration boundary and still-unfactored columns are
+// rebalanced onto it from the most loaded active workers, injecting the
+// reverse migration transfers — so shrink and grow traffic are both part of
+// the predicted cost.
 //
 // With RemovalPolicy::MultOnly threads are merely excluded from the
 // round-robin multiplication routing and keep their columns — an ablation
@@ -54,21 +61,29 @@ public:
   LuMalleabilityController(core::SimEngine& engine, lu::LuBuild& build,
                            EfficiencyPolicy policy);
 
-  /// Threads removed so far (for tests).
+  /// Threads removed so far and not re-added (for tests).
   const std::set<std::int32_t>& removed() const { return removed_; }
-  /// Total bytes moved by column migrations.
-  std::uint64_t migratedBytes() const { return migratedBytes_; }
+  /// Total bytes moved by column migrations, both directions.
+  std::uint64_t migratedBytes() const { return shrinkMigratedBytes_ + growMigratedBytes_; }
+  /// Bytes moved off shrinking workers / back onto regrown workers.
+  std::uint64_t shrinkMigratedBytes() const { return shrinkMigratedBytes_; }
+  std::uint64_t growMigratedBytes() const { return growMigratedBytes_; }
   /// Per-iteration efficiencies observed by the online policy.
   const std::vector<double>& observedEfficiencies() const { return observedEff_; }
 
 private:
   void onMarker(const std::string& name, std::int64_t value, SimTime when);
   void applyStep(const RemovalStep& step, std::int64_t iteration);
+  void applyGrow(const GrowStep& step, std::int64_t iteration);
+  /// Moves still-unfactored columns from the most loaded active workers
+  /// onto the regrown `thread` until it holds an even share.
+  void rebalanceOnto(std::int32_t thread, std::int64_t iteration);
   /// Online policy: evaluate the finished interval, maybe shrink.
   void evaluateEfficiency(std::int64_t iteration, SimTime when);
   /// Migrates all movable columns off `thread`; defers the pinned column.
   void migrateColumns(std::int32_t fromThread, std::int64_t iteration);
-  void moveColumn(std::int32_t col, std::int32_t fromThread, std::int32_t toThread);
+  /// Moves one column and returns the bytes transferred.
+  std::uint64_t moveColumn(std::int32_t col, std::int32_t fromThread, std::int32_t toThread);
   /// Picks the active thread with the fewest owned columns.
   std::int32_t leastLoadedActive() const;
 
@@ -80,7 +95,8 @@ private:
   std::set<std::int32_t> removed_;
   /// Threads waiting for a pinned column to become movable.
   std::set<std::int32_t> pendingMigration_;
-  std::uint64_t migratedBytes_ = 0;
+  std::uint64_t shrinkMigratedBytes_ = 0;
+  std::uint64_t growMigratedBytes_ = 0;
   SimTime lastMarker_{};
   std::vector<double> observedEff_;
 };

@@ -1,4 +1,4 @@
-// Allocation plans: which threads to remove after which iteration.
+// Allocation plans: which threads to remove or re-add after which iteration.
 #pragma once
 
 #include <cstdint>
@@ -12,10 +12,20 @@ struct RemovalStep {
   std::vector<std::int32_t> threads;  // worker thread indices to remove
 };
 
+/// Re-adds previously removed workers at an iteration boundary.  The
+/// controller reactivates them and rebalances column ownership back onto
+/// them, modeling the reverse migration traffic — the "true dynamic
+/// allocation" direction of the paper's §9 (grow as well as shrink).
+struct GrowStep {
+  std::int64_t afterIteration = 0;
+  std::vector<std::int32_t> threads;  // worker thread indices to re-add
+};
+
 struct AllocationPlan {
   std::vector<RemovalStep> steps;
+  std::vector<GrowStep> grows;
 
-  bool empty() const { return steps.empty(); }
+  bool empty() const { return steps.empty() && grows.empty(); }
 
   /// The paper's Fig. 12 strategies:
   ///   killAfter({{1, {4,5,6,7}}})          — "kill 4 after it. 1"
@@ -24,6 +34,13 @@ struct AllocationPlan {
     AllocationPlan p;
     p.steps = std::move(steps);
     return p;
+  }
+
+  /// Appends a grow step; returns *this so shrink-then-grow plans chain:
+  ///   AllocationPlan::killAfter({{2, {2,3}}}).thenGrow(5, {2,3})
+  AllocationPlan& thenGrow(std::int64_t afterIteration, std::vector<std::int32_t> threads) {
+    grows.push_back(GrowStep{afterIteration, std::move(threads)});
+    return *this;
   }
 
   std::string describe() const;

@@ -1,0 +1,193 @@
+#include "sched/cluster.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "des/scheduler.hpp"
+#include "support/error.hpp"
+
+namespace dps::sched {
+
+namespace {
+
+/// The whole event loop as one value type: constructed, run, harvested.
+class ClusterSim {
+public:
+  ClusterSim(const ClusterConfig& cfg, const Workload& workload, const JobProfileTable& profiles,
+             Policy& policy)
+      : cfg_(cfg), workload_(workload), profiles_(profiles), policy_(policy) {
+    DPS_CHECK(cfg_.nodes > 0, "cluster needs at least one node");
+    DPS_CHECK(cfg_.migrationBandwidthBytesPerSec > 0, "migration bandwidth must be positive");
+    free_ = cfg_.nodes;
+    jobs_.resize(workload.jobs.size());
+    for (std::size_t i = 0; i < workload.jobs.size(); ++i) {
+      const Job& job = workload.jobs[i];
+      const ClassProfile& profile = profiles_.of(job.klass);
+      DPS_CHECK(profile.maxNodes() <= cfg_.nodes,
+                "job class " + profile.name + " cannot fit the cluster");
+      JobRt& rt = jobs_[i];
+      rt.out.id = job.id;
+      rt.out.klass = profile.name;
+      rt.out.arrivalSec = job.arrivalSec;
+      rt.out.bestSec = profile.bestSec();
+    }
+  }
+
+  ClusterMetrics run() {
+    metrics_.timeline.push_back(UtilizationPoint{0.0, 0});
+    for (std::size_t i = 0; i < workload_.jobs.size(); ++i)
+      sched_.scheduleAt(simEpoch() + seconds(workload_.jobs[i].arrivalSec),
+                        [this, i] { onArrival(i); });
+    sched_.run();
+
+    metrics_.policy = policy_.name();
+    metrics_.nodes = cfg_.nodes;
+    metrics_.seed = workload_.cfg.seed;
+    for (JobRt& rt : jobs_) {
+      DPS_CHECK(rt.finished, "cluster simulation quiesced with unfinished jobs");
+      metrics_.jobs.push_back(std::move(rt.out));
+    }
+    metrics_.finalize();
+    return std::move(metrics_);
+  }
+
+private:
+  struct JobRt {
+    std::int32_t nodes = 0; // current allocation (0 = not running)
+    std::int32_t phase = 0; // next phase index
+    bool finished = false;
+    JobOutcome out;
+  };
+
+  double nowSec() const { return toSeconds(sched_.now().time_since_epoch()); }
+
+  const ClassProfile& profileOf(std::size_t i) const {
+    return profiles_.of(workload_.jobs[i].klass);
+  }
+
+  ClusterView view() const {
+    ClusterView v;
+    v.totalNodes = cfg_.nodes;
+    v.freeNodes = free_;
+    v.runningJobs = running_;
+    v.queuedJobs = static_cast<std::int32_t>(queue_.size());
+    return v;
+  }
+
+  void recordUse() {
+    const std::int32_t used = cfg_.nodes - free_;
+    if (!metrics_.timeline.empty() && metrics_.timeline.back().usedNodes == used) return;
+    metrics_.timeline.push_back(UtilizationPoint{nowSec(), used});
+  }
+
+  void onArrival(std::size_t i) {
+    queue_.push_back(i);
+    admissionScan();
+  }
+
+  /// Offers queued jobs to the policy strictly in arrival order; stops at
+  /// the first one that does not start (no backfill).
+  void admissionScan() {
+    while (!queue_.empty()) {
+      const std::size_t i = queue_.front();
+      const ClassProfile& profile = profileOf(i);
+      QueuedJobView qv;
+      qv.id = jobs_[i].out.id;
+      qv.waitedSec = nowSec() - jobs_[i].out.arrivalSec;
+      const std::int32_t want = policy_.admit(qv, profile, view());
+      if (want <= 0) return;
+      const std::int32_t alloc = profile.clampFeasible(std::min(want, profile.maxNodes()));
+      if (alloc > free_) return; // head-of-line blocked until nodes free up
+      queue_.pop_front();
+      startJob(i, alloc);
+    }
+  }
+
+  void startJob(std::size_t i, std::int32_t alloc) {
+    JobRt& rt = jobs_[i];
+    free_ -= alloc;
+    ++running_;
+    rt.nodes = alloc;
+    rt.out.startSec = nowSec();
+    recordUse();
+    schedulePhase(i);
+  }
+
+  void schedulePhase(std::size_t i) {
+    JobRt& rt = jobs_[i];
+    const PhaseProfile& p = profileOf(i).at(rt.nodes);
+    rt.out.allocs.push_back(rt.nodes);
+    sched_.scheduleAfter(seconds(p.phaseSec[static_cast<std::size_t>(rt.phase)]),
+                         [this, i] { onPhaseEnd(i); });
+  }
+
+  void onPhaseEnd(std::size_t i) {
+    JobRt& rt = jobs_[i];
+    const ClassProfile& profile = profileOf(i);
+    ++rt.phase;
+    if (rt.phase >= profile.phases()) {
+      free_ += rt.nodes;
+      --running_;
+      rt.nodes = 0;
+      rt.finished = true;
+      rt.out.finishSec = nowSec();
+      recordUse();
+      admissionScan();
+      return;
+    }
+
+    RunningJobView rv;
+    rv.id = rt.out.id;
+    rv.nodes = rt.nodes;
+    rv.phase = rt.phase;
+    rv.phases = profile.phases();
+    rv.efficiencyNext = profile.at(rt.nodes).phaseEff[static_cast<std::size_t>(rt.phase)];
+    std::int32_t target = profile.clampFeasible(policy_.reallocate(rv, profile, view()));
+    if (target > rt.nodes) // growth comes out of currently free nodes only
+      target = std::min(target, profile.clampFeasible(rt.nodes + free_));
+
+    if (target == rt.nodes) {
+      schedulePhase(i);
+      return;
+    }
+    const double bytes = profile.migrationBytes(rt.phase, rt.nodes, target);
+    if (target < rt.nodes) {
+      free_ += rt.nodes - target; // released nodes stop computing now
+    } else {
+      free_ -= target - rt.nodes;
+    }
+    rt.nodes = target;
+    rt.out.reallocations++;
+    rt.out.migratedBytes += bytes;
+    recordUse();
+    admissionScan(); // shrink may have freed capacity for the queue
+    if (cfg_.chargeMigration) {
+      const SimDuration delay =
+          cfg_.migrationLatency + seconds(bytes / cfg_.migrationBandwidthBytesPerSec);
+      sched_.scheduleAfter(delay, [this, i] { schedulePhase(i); });
+    } else {
+      schedulePhase(i);
+    }
+  }
+
+  const ClusterConfig& cfg_;
+  const Workload& workload_;
+  const JobProfileTable& profiles_;
+  Policy& policy_;
+
+  des::Scheduler sched_;
+  std::deque<std::size_t> queue_;
+  std::vector<JobRt> jobs_;
+  std::int32_t free_ = 0;
+  std::int32_t running_ = 0;
+  ClusterMetrics metrics_;
+};
+
+} // namespace
+
+ClusterMetrics simulateCluster(const ClusterConfig& cfg, const Workload& workload,
+                               const JobProfileTable& profiles, Policy& policy) {
+  return ClusterSim(cfg, workload, profiles, policy).run();
+}
+
+} // namespace dps::sched

@@ -1,0 +1,56 @@
+// ClusterScheduler: a whole simulated machine serving a stream of malleable
+// jobs (the paper's §9 outlook, executed at cluster scale).
+//
+// The event loop runs on the same des::Scheduler kernel as the application
+// engine.  Jobs arrive per the workload's Poisson process and queue in
+// arrival order; the policy is consulted at admission and at every phase
+// boundary of every running job.  Reallocation semantics:
+//
+//   * shrink — the released nodes free immediately (they stop computing at
+//     the boundary) while the job pays a migration delay before its next
+//     phase starts: latency + movedBytes / migrationBandwidth, with
+//     movedBytes from ClassProfile::migrationBytes — the same state-motion
+//     accounting the in-engine malleability controller injects.
+//   * grow   — granted only from currently free nodes (clamped to the
+//     largest feasible allocation not exceeding nodes + free), charged the
+//     same migration delay.
+//
+// Everything is deterministic: the DES kernel fires equal-time events in
+// scheduling order, policies are pure, and the profile table is
+// bit-identical at any build concurrency — so a cluster run is a pure
+// function of (workload, profiles, policy, config) at any --jobs value.
+#pragma once
+
+#include <cstdint>
+
+#include "net/profile.hpp"
+#include "sched/metrics.hpp"
+#include "sched/policy.hpp"
+#include "sched/profile.hpp"
+#include "sched/workload.hpp"
+
+namespace dps::sched {
+
+struct ClusterConfig {
+  std::int32_t nodes = 8;
+  /// Reconfiguration cost model: one-way latency plus bytes / bandwidth.
+  SimDuration migrationLatency = microseconds(100);
+  double migrationBandwidthBytesPerSec = 12.5e6;
+  /// Ablation: zero-cost reconfiguration (isolates policy quality from
+  /// migration overhead).
+  bool chargeMigration = true;
+
+  static ClusterConfig fromProfile(const net::PlatformProfile& p, std::int32_t nodes) {
+    ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.migrationLatency = p.latency;
+    cfg.migrationBandwidthBytesPerSec = p.bandwidthBytesPerSec;
+    return cfg;
+  }
+};
+
+/// Runs one policy over one workload against one profile table.
+ClusterMetrics simulateCluster(const ClusterConfig& cfg, const Workload& workload,
+                               const JobProfileTable& profiles, Policy& policy);
+
+} // namespace dps::sched

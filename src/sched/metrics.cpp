@@ -1,0 +1,95 @@
+#include "sched/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace dps::sched {
+
+namespace {
+/// Local shorthand for the shared round-trippable formatter.
+std::string fmt(double v) { return jsonDouble(v); }
+} // namespace
+
+void ClusterMetrics::finalize() {
+  makespanSec = 0;
+  meanSlowdown = maxSlowdown = meanWaitSec = migratedBytes = 0;
+  reallocations = 0;
+  for (const JobOutcome& j : jobs) {
+    makespanSec = std::max(makespanSec, j.finishSec);
+    meanSlowdown += j.slowdown();
+    maxSlowdown = std::max(maxSlowdown, j.slowdown());
+    meanWaitSec += j.waitSec();
+    migratedBytes += j.migratedBytes;
+    reallocations += j.reallocations;
+  }
+  if (!jobs.empty()) {
+    meanSlowdown /= static_cast<double>(jobs.size());
+    meanWaitSec /= static_cast<double>(jobs.size());
+  }
+
+  // Utilization: integrate the piecewise-constant used-node curve over
+  // [0, makespan].
+  utilization = 0;
+  if (makespanSec > 0 && nodes > 0 && !timeline.empty()) {
+    double integral = 0;
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+      const double end = i + 1 < timeline.size() ? timeline[i + 1].timeSec : makespanSec;
+      const double span = std::max(0.0, std::min(end, makespanSec) - timeline[i].timeSec);
+      integral += span * timeline[i].usedNodes;
+    }
+    utilization = integral / (static_cast<double>(nodes) * makespanSec);
+  }
+}
+
+void ClusterMetrics::writeJson(std::ostream& os) const {
+  os << "{\"policy\":\"" << jsonEscape(policy) << "\",\"nodes\":" << nodes << ",\"seed\":" << seed
+     << ",\"makespan_sec\":" << fmt(makespanSec) << ",\"utilization\":" << fmt(utilization)
+     << ",\"mean_slowdown\":" << fmt(meanSlowdown) << ",\"max_slowdown\":" << fmt(maxSlowdown)
+     << ",\"mean_wait_sec\":" << fmt(meanWaitSec) << ",\"migrated_bytes\":" << fmt(migratedBytes)
+     << ",\"reallocations\":" << reallocations;
+  os << ",\"jobs\":[";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobOutcome& j = jobs[i];
+    if (i) os << ",";
+    os << "{\"id\":" << j.id << ",\"class\":\"" << jsonEscape(j.klass) << "\""
+       << ",\"arrival_sec\":" << fmt(j.arrivalSec) << ",\"start_sec\":" << fmt(j.startSec)
+       << ",\"finish_sec\":" << fmt(j.finishSec) << ",\"best_sec\":" << fmt(j.bestSec)
+       << ",\"wait_sec\":" << fmt(j.waitSec()) << ",\"slowdown\":" << fmt(j.slowdown())
+       << ",\"reallocations\":" << j.reallocations
+       << ",\"migrated_bytes\":" << fmt(j.migratedBytes) << ",\"allocs\":[";
+    for (std::size_t a = 0; a < j.allocs.size(); ++a) {
+      if (a) os << ",";
+      os << j.allocs[a];
+    }
+    os << "]}";
+  }
+  os << "],\"timeline\":[";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"t\":" << fmt(timeline[i].timeSec) << ",\"used\":" << timeline[i].usedNodes << "}";
+  }
+  os << "]}";
+}
+
+std::string ClusterMetrics::jsonString() const {
+  std::ostringstream os;
+  writeJson(os);
+  return os.str();
+}
+
+void ClusterMetrics::writeCsv(std::ostream& os) const {
+  os << "id,class,arrival_sec,start_sec,finish_sec,best_sec,wait_sec,slowdown,"
+        "reallocations,migrated_bytes\n";
+  for (const JobOutcome& j : jobs) {
+    os << j.id << "," << j.klass << "," << fmt(j.arrivalSec) << "," << fmt(j.startSec) << ","
+       << fmt(j.finishSec) << "," << fmt(j.bestSec) << "," << fmt(j.waitSec()) << ","
+       << fmt(j.slowdown()) << "," << j.reallocations << "," << fmt(j.migratedBytes) << "\n";
+  }
+}
+
+} // namespace dps::sched

@@ -1,0 +1,67 @@
+// Cluster-simulation result set: per-job outcomes, the node-utilization
+// timeline, and the aggregate numbers scheduling studies report (makespan,
+// utilization, mean/max slowdown), with JSON and CSV emitters for cross-PR
+// trajectory tracking.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dps::sched {
+
+struct JobOutcome {
+  std::int32_t id = 0;
+  std::string klass;
+  double arrivalSec = 0;
+  double startSec = 0;
+  double finishSec = 0;
+  double bestSec = 0; // shortest profiled runtime (slowdown denominator)
+  /// Allocation at each executed phase, in phase order.
+  std::vector<std::int32_t> allocs;
+  std::int32_t reallocations = 0;
+  double migratedBytes = 0;
+
+  /// Clamped at zero: SimTime quantization can land the start a nanosecond
+  /// before the nominal arrival.
+  double waitSec() const { return startSec > arrivalSec ? startSec - arrivalSec : 0.0; }
+  /// (finish - arrival) / bestSec, the standard job-scheduling slowdown.
+  double slowdown() const { return bestSec > 0 ? (finishSec - arrivalSec) / bestSec : 0; }
+};
+
+/// Node usage after the change at `timeSec`.
+struct UtilizationPoint {
+  double timeSec = 0;
+  std::int32_t usedNodes = 0;
+};
+
+struct ClusterMetrics {
+  std::string policy;
+  std::int32_t nodes = 0;
+  std::uint64_t seed = 0;
+
+  std::vector<JobOutcome> jobs;
+  std::vector<UtilizationPoint> timeline;
+
+  // Aggregates (filled by finalize()).
+  double makespanSec = 0;    // last job finish
+  double utilization = 0;    // integral of used nodes / (nodes * makespan)
+  double meanSlowdown = 0;
+  double maxSlowdown = 0;
+  double meanWaitSec = 0;
+  double migratedBytes = 0;
+  std::int32_t reallocations = 0;
+
+  /// Computes the aggregate block from jobs + timeline.
+  void finalize();
+
+  /// {"policy":...,"nodes":...,"makespan_sec":...,"jobs":[...],
+  ///  "timeline":[...]}
+  void writeJson(std::ostream& os) const;
+  std::string jsonString() const;
+  /// One row per job, header included.
+  void writeCsv(std::ostream& os) const;
+};
+
+} // namespace dps::sched

@@ -1,0 +1,65 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace dps::sched {
+
+std::int32_t FcfsRigid::admit(const QueuedJobView&, const ClassProfile& profile,
+                              const ClusterView&) {
+  return profile.maxNodes();
+}
+
+std::int32_t FcfsRigid::reallocate(const RunningJobView& job, const ClassProfile&,
+                                   const ClusterView&) {
+  return job.nodes;
+}
+
+std::int32_t Equipartition::share(const ClassProfile& profile, const ClusterView& view) {
+  const std::int32_t jobs = std::max(1, view.runningJobs + view.queuedJobs);
+  const std::int32_t fair = std::max(1, view.totalNodes / jobs);
+  return profile.clampFeasible(std::min(fair, profile.maxNodes()));
+}
+
+std::int32_t Equipartition::admit(const QueuedJobView&, const ClassProfile& profile,
+                                  const ClusterView& view) {
+  return share(profile, view);
+}
+
+std::int32_t Equipartition::reallocate(const RunningJobView&, const ClassProfile& profile,
+                                       const ClusterView& view) {
+  // The job itself counts as one of the running jobs in the view.
+  return share(profile, view);
+}
+
+std::int32_t EfficiencyShrink::admit(const QueuedJobView&, const ClassProfile& profile,
+                                     const ClusterView& view) {
+  // Moldable admission: as large as currently fits, the smallest feasible
+  // allocation when even that is unavailable (keeps the job queued).
+  return profile.clampFeasible(std::max(profile.minNodes(), view.freeNodes));
+}
+
+std::int32_t EfficiencyShrink::reallocate(const RunningJobView& job, const ClassProfile& profile,
+                                          const ClusterView&) {
+  if (job.efficiencyNext >= threshold_) return job.nodes;
+  // Release: step down one feasible level (never below the minimum).
+  std::int32_t below = profile.minNodes();
+  for (std::int32_t a : profile.allocs)
+    if (a < job.nodes) below = a;
+  return below;
+}
+
+std::unique_ptr<Policy> makePolicy(const std::string& name) {
+  if (name == "fcfs-rigid") return std::make_unique<FcfsRigid>();
+  if (name == "equipartition") return std::make_unique<Equipartition>();
+  if (name == "efficiency-shrink") return std::make_unique<EfficiencyShrink>();
+  throw ConfigError("unknown policy '" + name +
+                    "' (expected fcfs-rigid | equipartition | efficiency-shrink)");
+}
+
+std::vector<std::string> policyNames() {
+  return {"fcfs-rigid", "equipartition", "efficiency-shrink"};
+}
+
+} // namespace dps::sched

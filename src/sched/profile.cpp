@@ -1,0 +1,150 @@
+#include "sched/profile.hpp"
+
+#include <algorithm>
+
+#include "core/engine.hpp"
+#include "jacobi/app.hpp"
+#include "lu/app.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/efficiency.hpp"
+
+namespace dps::sched {
+
+std::int32_t ClassProfile::phases() const {
+  DPS_CHECK(!byAlloc.empty(), "empty class profile");
+  return static_cast<std::int32_t>(byAlloc.front().phaseSec.size());
+}
+
+const PhaseProfile& ClassProfile::at(std::int32_t nodes) const {
+  for (std::size_t i = 0; i < allocs.size(); ++i)
+    if (allocs[i] == nodes) return byAlloc[i];
+  throw Error("no profile for " + name + " at " + std::to_string(nodes) + " nodes");
+}
+
+bool ClassProfile::feasible(std::int32_t nodes) const {
+  return std::find(allocs.begin(), allocs.end(), nodes) != allocs.end();
+}
+
+std::int32_t ClassProfile::clampFeasible(std::int32_t want) const {
+  std::int32_t best = allocs.front();
+  for (std::int32_t a : allocs)
+    if (a <= want) best = a;
+  return best;
+}
+
+double ClassProfile::bestSec() const {
+  double best = byAlloc.front().totalSec;
+  for (const PhaseProfile& p : byAlloc) best = std::min(best, p.totalSec);
+  return best;
+}
+
+double ClassProfile::migrationBytes(std::int32_t phase, std::int32_t from, std::int32_t to) const {
+  if (from == to) return 0;
+  // Ownership is (approximately) evenly spread over the current workers;
+  // moving between allocations relocates the share of the *live* state held
+  // by the workers that appear or disappear.
+  const double churn = static_cast<double>(std::abs(from - to)) / std::max(from, to);
+  double live = stateBytes;
+  if (stateShrinks) {
+    const double total = phases();
+    live *= (total - static_cast<double>(phase)) / total;
+  }
+  return live * churn;
+}
+
+namespace {
+
+core::SimConfig profileSimConfig(const ProfileSettings& settings) {
+  core::SimConfig sc;
+  sc.profile = settings.platform;
+  sc.mode = core::ExecutionMode::Pdexec;
+  sc.allocatePayloads = false;
+  return sc;
+}
+
+/// Runs one (class, allocation) simulation and slices the trace at the
+/// app's progress markers.
+PhaseProfile profileOne(const JobClass& klass, std::int32_t nodes,
+                        const ProfileSettings& settings) {
+  core::SimEngine engine(profileSimConfig(settings));
+  core::RunResult run;
+  const char* markerName = nullptr;
+  if (klass.app == AppKind::Lu) {
+    const lu::LuConfig cfg = klass.luAt(nodes);
+    cfg.validate();
+    lu::LuBuild build = lu::buildLu(cfg, settings.luModel, false);
+    run = lu::runLu(engine, build);
+    markerName = "iteration";
+  } else {
+    const jacobi::JacobiConfig cfg = klass.jacobiAt(nodes);
+    cfg.validate();
+    jacobi::JacobiBuild build = jacobi::buildJacobi(cfg, settings.jacobiModel, false);
+    run = jacobi::runJacobi(engine, build);
+    markerName = "sweep";
+  }
+  DPS_CHECK(run.trace != nullptr, "profile runs require trace recording");
+
+  PhaseProfile p;
+  p.nodes = nodes;
+  p.totalSec = toSeconds(run.makespan);
+  const auto segments = trace::dynamicEfficiency(*run.trace, markerName, simEpoch(),
+                                                 simEpoch() + run.makespan);
+  DPS_CHECK(!segments.empty(), "profile run produced no phases");
+  for (const auto& seg : segments) {
+    p.phaseSec.push_back(toSeconds(seg.end - seg.start));
+    p.phaseEff.push_back(seg.efficiency);
+  }
+  return p;
+}
+
+} // namespace
+
+JobProfileTable JobProfileTable::build(const std::vector<JobClass>& classes,
+                                       std::int32_t clusterNodes,
+                                       const ProfileSettings& settings, unsigned jobs) {
+  DPS_CHECK(!classes.empty(), "profile table needs at least one job class");
+  JobProfileTable table;
+  struct Slot {
+    std::size_t klass;
+    std::int32_t nodes;
+  };
+  std::vector<Slot> slots;
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    ClassProfile cp;
+    cp.name = classes[c].name;
+    cp.app = classes[c].app;
+    cp.allocs = feasibleAllocations(classes[c], clusterNodes);
+    if (classes[c].app == AppKind::Lu) {
+      cp.stateBytes = static_cast<double>(classes[c].lu.n) * classes[c].lu.n * sizeof(double);
+      cp.stateShrinks = true;
+    } else {
+      cp.stateBytes =
+          static_cast<double>(classes[c].jacobi.rows) * classes[c].jacobi.cols * sizeof(double);
+      cp.stateShrinks = false;
+    }
+    cp.byAlloc.resize(cp.allocs.size());
+    for (std::int32_t a : cp.allocs) slots.push_back(Slot{c, a});
+    table.classes_.push_back(std::move(cp));
+  }
+
+  // Independent single-threaded simulations into index-addressed slots:
+  // identical tables at any `jobs` value.
+  parallelFor(slots.size(), jobs, [&](std::size_t i) {
+    ClassProfile& cp = table.classes_[slots[i].klass];
+    const std::size_t ai = static_cast<std::size_t>(
+        std::find(cp.allocs.begin(), cp.allocs.end(), slots[i].nodes) - cp.allocs.begin());
+    cp.byAlloc[ai] = profileOne(classes[slots[i].klass], slots[i].nodes, settings);
+  });
+
+  for (const ClassProfile& cp : table.classes_) {
+    for (const PhaseProfile& p : cp.byAlloc) {
+      DPS_CHECK(p.totalSec > 0, "profile with zero makespan for " + cp.name);
+      DPS_CHECK(p.phaseSec.size() == cp.byAlloc.front().phaseSec.size(),
+                "inconsistent phase count across allocations of " + cp.name);
+    }
+  }
+  return table;
+}
+
+} // namespace dps::sched

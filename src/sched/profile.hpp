@@ -1,0 +1,86 @@
+// Job phase profiles: the bridge between the per-application DPS engine and
+// the cluster event loop.
+//
+// For every (job class, feasible allocation) pair one PDEXEC NOALLOC
+// simulation runs on the discrete-event engine; its trace is sliced at the
+// application's progress markers (LU "iteration", Jacobi "sweep") into
+// *phases* — per-phase durations and dynamic efficiencies.  The cluster
+// scheduler then models a running job as a sequence of phases whose
+// durations come from the profile at the job's current allocation, and may
+// re-decide the allocation at every phase boundary (the only points where
+// the malleable applications can reconfigure).  Allocation changes charge a
+// migration delay derived from the bytes of application state that move —
+// the same accounting mall::LuMalleabilityController injects in-engine.
+//
+// Profile construction fans the independent simulations out on the
+// support::ThreadPool with the campaign layer's determinism contract:
+// results land in index-addressed slots, so the table is bit-identical at
+// any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/profile.hpp"
+#include "sched/workload.hpp"
+
+namespace dps::sched {
+
+/// Engine settings the profile simulations run with.
+struct ProfileSettings {
+  net::PlatformProfile platform = net::ultraSparc440();
+  lu::KernelCostModel luModel = lu::KernelCostModel::ultraSparc440();
+  jacobi::JacobiCostModel jacobiModel{};
+};
+
+/// One class's behaviour at one allocation.
+struct PhaseProfile {
+  std::int32_t nodes = 0;
+  std::vector<double> phaseSec; // per-phase durations, sum == totalSec
+  std::vector<double> phaseEff; // profiled dynamic efficiency per phase
+  double totalSec = 0;          // simulated makespan at this allocation
+};
+
+/// One class's profiles across its feasible allocations.
+struct ClassProfile {
+  std::string name;
+  AppKind app = AppKind::Lu;
+  std::vector<std::int32_t> allocs; // ascending feasible allocations
+  std::vector<PhaseProfile> byAlloc;
+  /// Total bytes of distributed application state (LU: the n x n matrix;
+  /// Jacobi: the grid) — the unit of the migration-cost model.
+  double stateBytes = 0;
+  /// True when completed phases retire their state from future migrations
+  /// (LU columns already factored stay put; the Jacobi grid stays live).
+  bool stateShrinks = false;
+
+  std::int32_t phases() const;
+  std::int32_t maxNodes() const { return allocs.back(); }
+  std::int32_t minNodes() const { return allocs.front(); }
+  const PhaseProfile& at(std::int32_t nodes) const;
+  bool feasible(std::int32_t nodes) const;
+  /// Largest feasible allocation <= want; the smallest one when none is.
+  std::int32_t clampFeasible(std::int32_t want) const;
+  /// Shortest achievable runtime across allocations (slowdown denominator).
+  double bestSec() const;
+  /// Bytes that move when reallocating from -> to before phase `phase`.
+  double migrationBytes(std::int32_t phase, std::int32_t from, std::int32_t to) const;
+};
+
+/// Profiles for every class of a workload mix.
+class JobProfileTable {
+public:
+  /// Runs the (class x allocation) profile simulations with up to `jobs`
+  /// concurrent engines (0 = hardware concurrency).  Bit-identical at any
+  /// jobs value.
+  static JobProfileTable build(const std::vector<JobClass>& classes, std::int32_t clusterNodes,
+                               const ProfileSettings& settings = {}, unsigned jobs = 1);
+
+  std::size_t classCount() const { return classes_.size(); }
+  const ClassProfile& of(std::size_t klass) const { return classes_.at(klass); }
+
+private:
+  std::vector<ClassProfile> classes_;
+};
+
+} // namespace dps::sched

@@ -1,0 +1,142 @@
+#include "sched/workload.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dps::sched {
+
+lu::LuConfig JobClass::luAt(std::int32_t workers) const {
+  DPS_CHECK(app == AppKind::Lu, "not an LU job class");
+  lu::LuConfig cfg = lu;
+  cfg.workers = workers;
+  return cfg;
+}
+
+jacobi::JacobiConfig JobClass::jacobiAt(std::int32_t workers) const {
+  DPS_CHECK(app == AppKind::Jacobi, "not a Jacobi job class");
+  jacobi::JacobiConfig cfg = jacobi;
+  cfg.workers = workers;
+  return cfg;
+}
+
+bool JobClass::feasibleAt(std::int32_t workers) const {
+  if (workers < 1 || workers > maxNodes()) return false;
+  if (app == AppKind::Lu) return true;
+  return workers >= 2 && jacobi.rows % workers == 0;
+}
+
+std::vector<std::int32_t> feasibleAllocations(const JobClass& klass, std::int32_t clusterNodes) {
+  const std::int32_t cap = std::min(klass.maxNodes(), clusterNodes);
+  std::vector<std::int32_t> allocs;
+  for (std::int32_t w = 1; w <= cap; w *= 2)
+    if (klass.feasibleAt(w)) allocs.push_back(w);
+  if (klass.feasibleAt(cap) && (allocs.empty() || allocs.back() != cap)) allocs.push_back(cap);
+  DPS_CHECK(!allocs.empty(), "job class " + klass.name + " cannot run on this cluster");
+  return allocs;
+}
+
+Workload Workload::generate(WorkloadConfig cfg, std::int32_t clusterNodes) {
+  DPS_CHECK(clusterNodes > 0, "cluster needs at least one node");
+  DPS_CHECK(cfg.jobCount > 0, "workload needs at least one job");
+  DPS_CHECK(cfg.arrivalRatePerSec > 0, "arrival rate must be positive");
+  if (cfg.classes.empty()) cfg.classes = defaultMix(clusterNodes);
+  double totalWeight = 0;
+  for (const JobClass& k : cfg.classes) {
+    DPS_CHECK(k.weight > 0, "job class weights must be positive");
+    DPS_CHECK(k.maxNodes() >= 1, "job class requests no nodes");
+    totalWeight += k.weight;
+  }
+
+  Workload wl;
+  Rng rng(cfg.seed);
+  double t = 0;
+  for (std::int32_t i = 0; i < cfg.jobCount; ++i) {
+    t += rng.exponential(cfg.arrivalRatePerSec);
+    const double pick = rng.uniform() * totalWeight;
+    double cumulative = 0;
+    std::size_t klass = cfg.classes.size() - 1;
+    for (std::size_t c = 0; c < cfg.classes.size(); ++c) {
+      cumulative += cfg.classes[c].weight;
+      if (pick < cumulative) {
+        klass = c;
+        break;
+      }
+    }
+    wl.jobs.push_back(Job{i, klass, t});
+  }
+  wl.cfg = std::move(cfg);
+  return wl;
+}
+
+std::vector<JobClass> Workload::defaultMix(std::int32_t clusterNodes) {
+  DPS_CHECK(clusterNodes >= 2, "default mix needs a cluster of at least two nodes");
+  const auto clamp = [&](std::int32_t want) { return std::min(want, clusterNodes); };
+  // Largest power of two <= clusterNodes: keeps Jacobi strip counts valid.
+  std::int32_t pow2 = 1;
+  while (pow2 * 2 <= clusterNodes) pow2 *= 2;
+
+  std::vector<JobClass> classes;
+  {
+    JobClass k;
+    k.name = "lu-wide";
+    k.app = AppKind::Lu;
+    k.lu.n = 1296;
+    k.lu.r = 162; // 8 levels
+    k.lu.seed = 20060425;
+    k.lu.workers = clamp(8);
+    k.weight = 1.0;
+    classes.push_back(k);
+  }
+  {
+    JobClass k;
+    k.name = "lu-small";
+    k.app = AppKind::Lu;
+    k.lu.n = 648;
+    k.lu.r = 81; // 8 levels
+    k.lu.seed = 20060425;
+    k.lu.workers = clamp(4);
+    k.weight = 1.0;
+    classes.push_back(k);
+  }
+  {
+    JobClass k;
+    k.name = "jacobi-hot";
+    k.app = AppKind::Jacobi;
+    k.jacobi.rows = 512;
+    k.jacobi.cols = 512;
+    k.jacobi.sweeps = 48;
+    k.jacobi.seed = 11;
+    k.jacobi.workers = std::min(pow2, 8);
+    k.weight = 1.5;
+    classes.push_back(k);
+  }
+  {
+    JobClass k;
+    k.name = "jacobi-thin";
+    k.app = AppKind::Jacobi;
+    k.jacobi.rows = 256;
+    k.jacobi.cols = 256;
+    k.jacobi.sweeps = 24;
+    k.jacobi.seed = 11;
+    k.jacobi.workers = std::min(pow2, 4);
+    k.weight = 1.5;
+    classes.push_back(k);
+  }
+  return classes;
+}
+
+std::string Workload::describe() const {
+  std::ostringstream os;
+  os << jobs.size() << " jobs, rate " << cfg.arrivalRatePerSec << "/s, seed " << cfg.seed
+     << ", mix";
+  std::vector<std::size_t> counts(cfg.classes.size(), 0);
+  for (const Job& j : jobs) counts[j.klass]++;
+  for (std::size_t c = 0; c < cfg.classes.size(); ++c)
+    os << " " << cfg.classes[c].name << ":" << counts[c];
+  return os.str();
+}
+
+} // namespace dps::sched

@@ -1,0 +1,79 @@
+// Cluster workload generation (sched:: subsystem).
+//
+// The paper simulates one application whose allocation varies; related
+// cluster simulators (SST job scheduling, CGSim) treat the *cluster* as the
+// unit of simulation: a stream of heterogeneous jobs arrives at a shared
+// machine and a scheduler policy decides allocations online.  This header
+// provides that stream: a deterministic seeded Poisson process of arrivals
+// drawn from a weighted mix of LU and Jacobi job classes at different
+// sizes/durations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jacobi/app.hpp"
+#include "lu/builder.hpp"
+
+namespace dps::sched {
+
+enum class AppKind : std::uint8_t { Lu, Jacobi };
+
+/// One entry of the heterogeneous job mix: an application configured at its
+/// *maximum* (requested) allocation, plus the relative arrival weight.
+struct JobClass {
+  std::string name;
+  AppKind app = AppKind::Lu;
+  lu::LuConfig lu{};
+  jacobi::JacobiConfig jacobi{};
+  double weight = 1.0;
+
+  /// The allocation the job asks for when rigid.
+  std::int32_t maxNodes() const { return app == AppKind::Lu ? lu.workers : jacobi.workers; }
+  /// The class configuration re-targeted to `workers` nodes.
+  lu::LuConfig luAt(std::int32_t workers) const;
+  jacobi::JacobiConfig jacobiAt(std::int32_t workers) const;
+  /// True when the class can run on `workers` nodes (LU: any >= 1;
+  /// Jacobi: >= 2 strips that evenly divide the grid rows).
+  bool feasibleAt(std::int32_t workers) const;
+};
+
+/// Ascending malleability levels a job of this class can run at on a
+/// cluster of `clusterNodes`: the feasible powers of two plus the class's
+/// requested maximum.  Bounded so profiling one class stays cheap.
+std::vector<std::int32_t> feasibleAllocations(const JobClass& klass, std::int32_t clusterNodes);
+
+/// One arriving job.
+struct Job {
+  std::int32_t id = 0;
+  std::size_t klass = 0;
+  double arrivalSec = 0;
+};
+
+struct WorkloadConfig {
+  std::uint64_t seed = 1;
+  std::int32_t jobCount = 12;
+  /// Poisson arrival process rate (jobs per simulated second).
+  double arrivalRatePerSec = 0.15;
+  /// Empty selects Workload::defaultMix(clusterNodes).
+  std::vector<JobClass> classes;
+};
+
+struct Workload {
+  WorkloadConfig cfg; // with classes resolved
+  std::vector<Job> jobs;
+
+  /// Deterministic in (cfg.seed, cfg.jobCount, cfg.arrivalRatePerSec,
+  /// classes): per job, one exponential inter-arrival draw then one
+  /// weighted class draw, in that order.
+  static Workload generate(WorkloadConfig cfg, std::int32_t clusterNodes);
+
+  /// The bench/tool default mix: two LU classes (wide/small) and two Jacobi
+  /// stencil classes (hot/thin), workers clamped to the cluster size.
+  static std::vector<JobClass> defaultMix(std::int32_t clusterNodes);
+
+  std::string describe() const;
+};
+
+} // namespace dps::sched

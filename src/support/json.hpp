@@ -1,0 +1,42 @@
+// Minimal JSON emission helpers shared by every layer's report writers
+// (campaign/autocal emitters, sched cluster metrics, bench --json).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dps {
+
+/// Round-trippable double formatting for JSON/CSV emitters: %.17g prints
+/// enough digits to reconstruct the exact bit pattern.
+inline std::string jsonDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+inline std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+} // namespace dps

@@ -1,8 +1,33 @@
 #include "support/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "support/error.hpp"
+
 namespace dps {
+
+double Rng::exponential(double rate) {
+  DPS_CHECK(rate > 0.0, "exponential rate must be positive");
+  // uniform() is in [0, 1); flip to (0, 1] so log never sees zero.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  DPS_CHECK(mean > 0.0, "poisson mean must be positive");
+  if (mean < 32.0) {
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++k;
+      product *= uniform();
+    }
+    return k;
+  }
+  const double draw = std::round(normal(mean, std::sqrt(mean)));
+  return static_cast<std::uint64_t>(std::max(0.0, draw));
+}
 
 double Rng::normal() {
   if (haveSpare_) {

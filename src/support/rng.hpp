@@ -83,6 +83,16 @@ public:
   /// Normal with given mean / standard deviation.
   double normal(double mean, double stddev) { return mean + stddev * normal(); }
 
+  /// Exponential with the given rate (mean 1/rate); rate must be > 0.
+  /// Inter-arrival times of a Poisson process — the workload generators'
+  /// arrival model.
+  double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean (> 0).  Knuth's product
+  /// method below mean 32, normal approximation (rounded, clamped at 0)
+  /// above — deterministic in the draw sequence either way.
+  std::uint64_t poisson(double mean);
+
   /// Derives an independent child generator (for per-node noise streams).
   Rng fork() { return Rng((*this)() ^ 0xD2B74407B1CE6E93ull); }
 

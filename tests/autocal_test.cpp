@@ -7,6 +7,7 @@
 // campaign_test (concurrent engines scoring candidates on the pool).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -100,6 +101,40 @@ TEST(ParamSpaceTest, ClampAndCenterStayInBox) {
   const auto mid = space.center();
   EXPECT_DOUBLE_EQ(mid[0], 5e-6);
   EXPECT_DOUBLE_EQ(mid[1], 1.25);
+}
+
+TEST(ParamSpaceTest, AroundOptionallyIncludesFidelityDims) {
+  const Candidate warm = testCandidate();
+  const ParamSpace narrow = ParamSpace::around(warm);
+  EXPECT_EQ(narrow.size(), 4u);
+
+  // The wide box adds the fidelity-layer dimensions already reachable via
+  // the Param enum (ROADMAP open item).
+  const ParamSpace wide = ParamSpace::around(warm, true);
+  EXPECT_EQ(wide.size(), 8u);
+  std::vector<Param> keys;
+  for (const auto& d : wide.dims()) keys.push_back(d.key);
+  for (Param p : {Param::LocalDeliverySec, Param::CpuPerOutgoingTransfer,
+                  Param::CpuPerIncomingTransfer, Param::ComputeScale})
+    EXPECT_NE(std::find(keys.begin(), keys.end(), p), keys.end());
+
+  // The warm start itself lies inside the wide box (clamp is a no-op) and
+  // the narrow box is a prefix of the wide one.
+  const auto enc = wide.encode(warm);
+  const auto clamped = wide.clamp(enc);
+  for (std::size_t i = 0; i < enc.size(); ++i) EXPECT_DOUBLE_EQ(clamped[i], enc[i]);
+  for (std::size_t i = 0; i < narrow.size(); ++i) {
+    EXPECT_EQ(wide.dims()[i].key, narrow.dims()[i].key);
+    EXPECT_DOUBLE_EQ(wide.dims()[i].lo, narrow.dims()[i].lo);
+    EXPECT_DOUBLE_EQ(wide.dims()[i].hi, narrow.dims()[i].hi);
+  }
+
+  // apply/encode round-trips over the added dimensions too.
+  auto x = wide.center();
+  const Candidate applied = wide.apply(warm, x);
+  const auto back = wide.encode(applied);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(back[i], x[i], std::abs(x[i]) * 1e-12 + 1e-9) << "dim " << i;
 }
 
 TEST(ParamSpaceTest, RejectsDegenerateAndDuplicateDims) {

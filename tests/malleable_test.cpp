@@ -3,6 +3,8 @@
 // (paper §6/§8).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/engine.hpp"
 #include "lu/app.hpp"
 #include "malleable/controller.hpp"
@@ -42,6 +44,9 @@ TEST(PlanTest, Describe) {
   auto plan2 = AllocationPlan::killAfter({{2, {6, 7}}, {3, {4, 5}}});
   EXPECT_EQ(plan2.describe(), "kill 2 after it. 2 + kill 2 after it. 3");
   EXPECT_EQ(AllocationPlan{}.describe(), "static");
+  auto plan3 = AllocationPlan::killAfter({{2, {2, 3}}}).thenGrow(5, {2, 3});
+  EXPECT_EQ(plan3.describe(), "kill 2 after it. 2 + grow 2 after it. 5");
+  EXPECT_FALSE(plan3.empty());
 }
 
 TEST(MalleableTest, RemovalKeepsFactorizationCorrect) {
@@ -131,6 +136,68 @@ TEST(MalleableTest, PinnedColumnDefersMigration) {
   // Eventually the column moved away.
   EXPECT_TRUE(build.directory->columnsOf(2).empty());
   EXPECT_GT(controller.migratedBytes(), 0u);
+}
+
+TEST(GrowTest, ShrinkThenGrowRoundTripsWorkerCount) {
+  // "Kill 4 after it. 1, grow 4 after it. 4": the allocation timeline must
+  // dip to 4 nodes and return to 8, with migration traffic in both
+  // directions.
+  lu::LuConfig cfg = baseConfig();
+  cfg.workers = 8;
+  core::SimEngine engine(pdexecConfig());
+  lu::LuBuild build = lu::buildLu(cfg, lu::KernelCostModel::ultraSparc440(), false);
+  LuMalleabilityController controller(
+      engine, build, AllocationPlan::killAfter({{1, {4, 5, 6, 7}}}).thenGrow(4, {4, 5, 6, 7}));
+  auto result = lu::runLu(engine, build);
+  lu::checkOutputs(cfg, result);
+  EXPECT_TRUE(controller.removed().empty()); // every removal was reverted
+  EXPECT_GT(controller.shrinkMigratedBytes(), 0u);
+  EXPECT_GT(controller.growMigratedBytes(), 0u);
+  ASSERT_TRUE(result.trace);
+  const auto& allocs = result.trace->allocations();
+  std::int32_t minAlloc = 8;
+  for (const auto& a : allocs) minAlloc = std::min(minAlloc, a.allocatedNodes);
+  EXPECT_EQ(allocs.front().allocatedNodes, 8);
+  EXPECT_EQ(minAlloc, 4);
+  EXPECT_EQ(allocs.back().allocatedNodes, 8);
+}
+
+TEST(GrowTest, GrowKeepsFactorizationCorrect) {
+  // Direct execution: the factored matrix must still verify after columns
+  // migrate away and back.
+  lu::LuConfig cfg = baseConfig();
+  cfg.workers = 8;
+  core::SimEngine engine(directConfig());
+  lu::LuBuild build = lu::buildLu(cfg, lu::KernelCostModel::ultraSparc440().scaled(100.0), true);
+  LuMalleabilityController controller(
+      engine, build, AllocationPlan::killAfter({{2, {6, 7}}}).thenGrow(5, {6, 7}));
+  auto result = lu::runLu(engine, build);
+  EXPECT_LT(lu::verifyLu(cfg, result, build.workersGroup), 1e-9);
+  EXPECT_TRUE(controller.removed().empty());
+  EXPECT_GT(controller.growMigratedBytes(), 0u);
+}
+
+TEST(GrowTest, RegrownWorkerReceivesFutureColumns) {
+  lu::LuConfig cfg = baseConfig();
+  cfg.workers = 4;
+  core::SimEngine engine(pdexecConfig());
+  lu::LuBuild build = lu::buildLu(cfg, lu::KernelCostModel::ultraSparc440(), false);
+  LuMalleabilityController controller(
+      engine, build, AllocationPlan::killAfter({{1, {3}}}).thenGrow(3, {3}));
+  auto result = lu::runLu(engine, build);
+  lu::checkOutputs(cfg, result);
+  // After the grow-side rebalance thread 3 owns unfactored columns again.
+  EXPECT_FALSE(build.directory->columnsOf(3).empty());
+}
+
+TEST(GrowTest, GrowingANeverRemovedThreadThrows) {
+  const auto cfg = baseConfig();
+  core::SimEngine engine(pdexecConfig());
+  lu::LuBuild build = lu::buildLu(cfg, lu::KernelCostModel::ultraSparc440(), false);
+  AllocationPlan plan;
+  plan.thenGrow(1, {2});
+  LuMalleabilityController controller(engine, build, std::move(plan));
+  EXPECT_THROW(lu::runLu(engine, build), Error);
 }
 
 TEST(EfficiencyPolicyTest, ShrinksAllocationWhenEfficiencyDrops) {

@@ -1,0 +1,280 @@
+// sched:: cluster-workload subsystem: workload generation, job profiles,
+// scheduling policies, the cluster event loop and its metrics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sched/cluster.hpp"
+
+namespace dps::sched {
+namespace {
+
+/// Tiny mix for fast unit tests (8-level LU + 6-sweep Jacobi).
+std::vector<JobClass> tinyMix() {
+  JobClass lu;
+  lu.name = "lu-tiny";
+  lu.app = AppKind::Lu;
+  lu.lu.n = 64;
+  lu.lu.r = 8;
+  lu.lu.workers = 4;
+  lu.lu.seed = 3;
+  JobClass ja;
+  ja.name = "jacobi-tiny";
+  ja.app = AppKind::Jacobi;
+  ja.jacobi.rows = 64;
+  ja.jacobi.cols = 64;
+  ja.jacobi.sweeps = 6;
+  ja.jacobi.workers = 4;
+  return {lu, ja};
+}
+
+Workload tinyWorkload(std::uint64_t seed, std::int32_t jobCount = 8, double rate = 1.0) {
+  WorkloadConfig cfg;
+  cfg.seed = seed;
+  cfg.jobCount = jobCount;
+  cfg.arrivalRatePerSec = rate;
+  cfg.classes = tinyMix();
+  return Workload::generate(cfg, 4);
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  const auto a = tinyWorkload(7);
+  const auto b = tinyWorkload(7);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].arrivalSec, b.jobs[i].arrivalSec);
+    EXPECT_EQ(a.jobs[i].klass, b.jobs[i].klass);
+  }
+  const auto c = tinyWorkload(8);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i)
+    differs = differs || a.jobs[i].arrivalSec != c.jobs[i].arrivalSec;
+  EXPECT_TRUE(differs);
+}
+
+TEST(WorkloadTest, ArrivalsFollowTheConfiguredRate) {
+  const auto wl = tinyWorkload(1, 4000, 0.5);
+  // Mean inter-arrival gap of a rate-0.5 Poisson process is 2 s.
+  const double meanGap = wl.jobs.back().arrivalSec / static_cast<double>(wl.jobs.size());
+  EXPECT_NEAR(meanGap, 2.0, 0.2);
+  for (std::size_t i = 1; i < wl.jobs.size(); ++i)
+    EXPECT_GT(wl.jobs[i].arrivalSec, wl.jobs[i - 1].arrivalSec);
+}
+
+TEST(WorkloadTest, MixCoversAllClasses) {
+  const auto wl = tinyWorkload(1, 200);
+  std::vector<int> counts(wl.cfg.classes.size(), 0);
+  for (const Job& j : wl.jobs) counts[j.klass]++;
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(WorkloadTest, FeasibleAllocationsRespectAppConstraints) {
+  const auto mix = tinyMix();
+  // LU: any worker count down to 1 is feasible.
+  EXPECT_EQ(feasibleAllocations(mix[0], 4), (std::vector<std::int32_t>{1, 2, 4}));
+  // Jacobi: at least two strips.
+  EXPECT_EQ(feasibleAllocations(mix[1], 4), (std::vector<std::int32_t>{2, 4}));
+  // Cluster smaller than the request clamps the top allocation.
+  EXPECT_EQ(feasibleAllocations(mix[0], 2), (std::vector<std::int32_t>{1, 2}));
+  // A non-power-of-two request is still offered as the job's maximum.
+  JobClass wide = mix[0];
+  wide.lu.workers = 6;
+  EXPECT_EQ(feasibleAllocations(wide, 8), (std::vector<std::int32_t>{1, 2, 4, 6}));
+}
+
+TEST(ProfileTableTest, BitIdenticalAtAnyBuildConcurrency) {
+  const auto classes = tinyMix();
+  const auto serial = JobProfileTable::build(classes, 4, {}, 1);
+  const auto parallel = JobProfileTable::build(classes, 4, {}, 4);
+  ASSERT_EQ(serial.classCount(), parallel.classCount());
+  for (std::size_t c = 0; c < serial.classCount(); ++c) {
+    const auto& a = serial.of(c);
+    const auto& b = parallel.of(c);
+    ASSERT_EQ(a.allocs, b.allocs);
+    for (std::size_t i = 0; i < a.byAlloc.size(); ++i) {
+      EXPECT_EQ(a.byAlloc[i].totalSec, b.byAlloc[i].totalSec); // bitwise
+      EXPECT_EQ(a.byAlloc[i].phaseSec, b.byAlloc[i].phaseSec);
+      EXPECT_EQ(a.byAlloc[i].phaseEff, b.byAlloc[i].phaseEff);
+    }
+  }
+}
+
+TEST(ProfileTableTest, PhaseDurationsSumToMakespan) {
+  const auto table = JobProfileTable::build(tinyMix(), 4, {}, 1);
+  for (std::size_t c = 0; c < table.classCount(); ++c) {
+    const auto& cp = table.of(c);
+    EXPECT_GE(cp.phases(), 2);
+    for (const PhaseProfile& p : cp.byAlloc) {
+      double sum = 0;
+      for (double s : p.phaseSec) sum += s;
+      EXPECT_NEAR(sum, p.totalSec, 1e-9 * p.totalSec + 1e-12);
+      for (double e : p.phaseEff) {
+        EXPECT_GE(e, 0.0);
+        EXPECT_LE(e, 1.0);
+      }
+    }
+  }
+}
+
+TEST(ProfileTableTest, MigrationModelShrinksWithProgress) {
+  const auto table = JobProfileTable::build(tinyMix(), 4, {}, 1);
+  const auto& lu = table.of(0);
+  EXPECT_EQ(lu.migrationBytes(1, 4, 4), 0.0);
+  const double early = lu.migrationBytes(1, 4, 2);
+  const double late = lu.migrationBytes(lu.phases() - 1, 4, 2);
+  EXPECT_GT(early, 0.0);
+  EXPECT_GT(late, 0.0);
+  EXPECT_LT(late, early); // factored LU columns no longer move
+  // The Jacobi grid stays live for the whole run.
+  const auto& ja = table.of(1);
+  EXPECT_EQ(ja.migrationBytes(1, 4, 2), ja.migrationBytes(ja.phases() - 1, 4, 2));
+}
+
+TEST(ProfileTableTest, ClampFeasible) {
+  const auto table = JobProfileTable::build(tinyMix(), 4, {}, 1);
+  const auto& ja = table.of(1); // allocs {2, 4}
+  EXPECT_EQ(ja.clampFeasible(8), 4);
+  EXPECT_EQ(ja.clampFeasible(3), 2);
+  EXPECT_EQ(ja.clampFeasible(1), 2); // below minimum -> minimum
+}
+
+// ---------------------------------------------------------------------------
+// Cluster event loop
+
+ClusterMetrics runTiny(Policy& policy, std::uint64_t seed = 1) {
+  const auto wl = tinyWorkload(seed, 10, 2.0);
+  const auto table = JobProfileTable::build(wl.cfg.classes, 4, {}, 1);
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  return simulateCluster(cfg, wl, table, policy);
+}
+
+TEST(ClusterTest, AllJobsServedAndAccountingConsistent) {
+  for (const std::string& name : policyNames()) {
+    auto policy = makePolicy(name);
+    const auto m = runTiny(*policy);
+    ASSERT_EQ(m.jobs.size(), 10u) << name;
+    for (const auto& j : m.jobs) {
+      EXPECT_GE(j.startSec, 0.0);
+      EXPECT_GE(j.finishSec, j.startSec);
+      EXPECT_GE(j.slowdown(), 0.99) << name; // nanosecond quantization slack
+      EXPECT_FALSE(j.allocs.empty());
+    }
+    EXPECT_GT(m.makespanSec, 0.0);
+    EXPECT_GT(m.utilization, 0.0);
+    EXPECT_LE(m.utilization, 1.0 + 1e-9);
+    for (const auto& p : m.timeline) {
+      EXPECT_GE(p.usedNodes, 0);
+      EXPECT_LE(p.usedNodes, 4);
+    }
+  }
+}
+
+TEST(ClusterTest, RigidPolicyNeverReallocates) {
+  FcfsRigid policy;
+  const auto m = runTiny(policy);
+  EXPECT_EQ(m.reallocations, 0);
+  EXPECT_EQ(m.migratedBytes, 0.0);
+  for (const auto& j : m.jobs)
+    for (std::int32_t a : j.allocs) EXPECT_EQ(a, j.allocs.front());
+}
+
+TEST(ClusterTest, EfficiencyShrinkReleasesNodesAndChargesMigration) {
+  EfficiencyShrink policy(0.9); // aggressive: LU efficiency decays well below
+  const auto m = runTiny(policy);
+  EXPECT_GT(m.reallocations, 0);
+  EXPECT_GT(m.migratedBytes, 0.0);
+  bool shrank = false;
+  for (const auto& j : m.jobs)
+    for (std::size_t p = 1; p < j.allocs.size(); ++p)
+      shrank = shrank || j.allocs[p] < j.allocs[p - 1];
+  EXPECT_TRUE(shrank);
+}
+
+TEST(ClusterTest, DeterministicAcrossRunsAndProfileJobs) {
+  // The dps_cluster acceptance contract: identical reports across
+  // repetitions and across profile-build concurrency.
+  const auto wl = tinyWorkload(1, 10, 2.0);
+  const auto serial = JobProfileTable::build(wl.cfg.classes, 4, {}, 1);
+  const auto parallel = JobProfileTable::build(wl.cfg.classes, 4, {}, 4);
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  Equipartition a, b;
+  EXPECT_EQ(simulateCluster(cfg, wl, serial, a).jsonString(),
+            simulateCluster(cfg, wl, parallel, b).jsonString());
+}
+
+TEST(ClusterTest, EquipartitionBeatsFcfsRigidOnTheBenchDefaultWorkload) {
+  // The cluster_policies bench default point: 8 nodes, default mix, seed 1,
+  // rate 0.15, 12 jobs — equipartition must win on mean slowdown.
+  WorkloadConfig wcfg;
+  wcfg.seed = 1;
+  wcfg.jobCount = 12;
+  wcfg.arrivalRatePerSec = 0.15;
+  const auto wl = Workload::generate(wcfg, 8);
+  const auto table = JobProfileTable::build(wl.cfg.classes, 8, {}, 1);
+  const auto ccfg = ClusterConfig::fromProfile(ProfileSettings{}.platform, 8);
+  FcfsRigid fcfs;
+  Equipartition equip;
+  const auto mFcfs = simulateCluster(ccfg, wl, table, fcfs);
+  const auto mEquip = simulateCluster(ccfg, wl, table, equip);
+  EXPECT_LT(mEquip.meanSlowdown, mFcfs.meanSlowdown);
+  EXPECT_LT(mEquip.meanWaitSec, mFcfs.meanWaitSec);
+}
+
+TEST(ClusterTest, ZeroCostMigrationAblationNeverSlower) {
+  const auto wl = tinyWorkload(1, 10, 2.0);
+  const auto table = JobProfileTable::build(wl.cfg.classes, 4, {}, 1);
+  ClusterConfig charged;
+  charged.nodes = 4;
+  ClusterConfig zero = charged;
+  zero.chargeMigration = false;
+  EfficiencyShrink a(0.9), b(0.9);
+  const auto mCharged = simulateCluster(charged, wl, table, a);
+  const auto mZero = simulateCluster(zero, wl, table, b);
+  EXPECT_LE(mZero.makespanSec, mCharged.makespanSec + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(MetricsTest, FinalizeMatchesHandComputation) {
+  ClusterMetrics m;
+  m.nodes = 4;
+  JobOutcome a;
+  a.arrivalSec = 0;
+  a.startSec = 0;
+  a.finishSec = 10;
+  a.bestSec = 5; // slowdown 2
+  JobOutcome b;
+  b.arrivalSec = 2;
+  b.startSec = 6;
+  b.finishSec = 8;
+  b.bestSec = 2; // slowdown 3, wait 4
+  m.jobs = {a, b};
+  m.timeline = {{0.0, 2}, {5.0, 4}};
+  m.finalize();
+  EXPECT_DOUBLE_EQ(m.makespanSec, 10.0);
+  EXPECT_DOUBLE_EQ(m.meanSlowdown, 2.5);
+  EXPECT_DOUBLE_EQ(m.maxSlowdown, 3.0);
+  EXPECT_DOUBLE_EQ(m.meanWaitSec, 2.0);
+  // (2 nodes * 5 s + 4 nodes * 5 s) / (4 nodes * 10 s)
+  EXPECT_DOUBLE_EQ(m.utilization, 0.75);
+}
+
+TEST(MetricsTest, EmittersAreWellFormed) {
+  Equipartition policy;
+  const auto m = runTiny(policy);
+  const std::string json = m.jsonString();
+  for (const char* key : {"\"policy\":\"equipartition\"", "\"mean_slowdown\":",
+                          "\"utilization\":", "\"jobs\":[", "\"timeline\":[", "\"allocs\":["})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  std::ostringstream csv;
+  m.writeCsv(csv);
+  std::size_t lines = 0;
+  for (char c : csv.str()) lines += c == '\n';
+  EXPECT_EQ(lines, m.jobs.size() + 1); // header + one row per job
+}
+
+} // namespace
+} // namespace dps::sched

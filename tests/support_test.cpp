@@ -83,6 +83,37 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_NE(a(), child());
 }
 
+TEST(RngTest, ExponentialMatchesDistributionShape) {
+  Rng r(17);
+  OnlineStats s;
+  int beyondMean = 0;
+  const double rate = 0.25; // mean 4, stddev 4
+  for (int i = 0; i < 40000; ++i) {
+    const double x = r.exponential(rate);
+    EXPECT_GE(x, 0.0);
+    s.add(x);
+    beyondMean += x > 4.0;
+  }
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 4.0, 0.15);
+  // P(X > mean) = 1/e for an exponential — a shape check the first two
+  // moments alone would not catch.
+  EXPECT_NEAR(beyondMean / 40000.0, std::exp(-1.0), 0.01);
+  EXPECT_THROW(r.exponential(0.0), Error);
+}
+
+TEST(RngTest, PoissonMatchesMeanAndVariance) {
+  Rng r(19);
+  for (const double mean : {0.7, 6.0, 120.0}) { // product method + normal tail
+    OnlineStats s;
+    for (int i = 0; i < 30000; ++i) s.add(static_cast<double>(r.poisson(mean)));
+    EXPECT_NEAR(s.mean(), mean, 0.05 * mean + 0.05) << mean;
+    // Poisson signature: variance == mean.
+    EXPECT_NEAR(s.variance(), mean, 0.1 * mean + 0.1) << mean;
+  }
+  EXPECT_THROW(r.poisson(-1.0), Error);
+}
+
 TEST(StatsTest, BasicMoments) {
   OnlineStats s;
   for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);

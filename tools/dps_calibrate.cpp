@@ -30,12 +30,15 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   std::int64_t budget = 0, jobs = 0, seed = 0, rounds = 0;
   std::string jsonPath, strategyName;
+  bool wide = false;
   try {
     budget = cli.integer("budget", 32, "total candidate evaluations (warm start included)");
     jobs = cli.integer("jobs", 0, "concurrent simulations (0 = hardware concurrency)");
     seed = cli.integer("seed", 1, "search + fidelity machine-state seed");
     rounds = cli.integer("rounds", 16, "ping-pong probes per message size for the warm start");
     strategyName = cli.str("strategy", "random", "exploration strategy: random | grid");
+    wide = cli.flag("wide", "also search the fidelity-layer dimensions (local delivery, "
+                            "per-transfer CPU, compute scale)");
     jsonPath = cli.str("json", "", "write the full report to this JSON file");
     if (cli.helpRequested()) {
       std::printf("%s", cli.helpText().c_str());
@@ -66,7 +69,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(seed), toMicros(fit.latency), fit.bytesPerSec / 1e6,
               fit.residual);
 
-  const exp::ParamSpace space = exp::ParamSpace::around(warm);
+  const exp::ParamSpace space = exp::ParamSpace::around(warm, wide);
+  std::printf("search space: %zu dimensions%s\n", space.size(),
+              wide ? " (fidelity-layer dims included)" : "");
   const exp::ScenarioObjective objective(settings, warm, space,
                                          exp::ObjectiveSpec::validationSet(),
                                          static_cast<unsigned>(jobs));

@@ -1,0 +1,172 @@
+// dps_cluster — multi-job malleable scheduling on a shared simulated machine
+// (the paper's §9 outlook at cluster scale).
+//
+// A seeded Poisson stream of heterogeneous LU and Jacobi jobs arrives at a
+// cluster of --nodes nodes.  Each (job class, feasible allocation) pair is
+// profiled once on the DPS discrete-event engine — fanned out over --jobs
+// concurrent simulations — and the cluster event loop then plays the job
+// stream through every scheduling policy, reporting makespan, utilization
+// and per-job slowdown.  The run is bit-identical across repetitions and
+// across --jobs values.
+//
+//   $ dps_cluster --nodes 8 --policy equipartition --seed 1
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "sched/cluster.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace dps;
+
+namespace {
+
+/// Compresses an allocation history like {8,8,4,4,4} into "8x2 4x3".
+std::string describeAllocs(const std::vector<std::int32_t>& allocs) {
+  std::ostringstream os;
+  std::size_t i = 0;
+  while (i < allocs.size()) {
+    std::size_t j = i;
+    while (j < allocs.size() && allocs[j] == allocs[i]) ++j;
+    if (i) os << " ";
+    os << allocs[i] << "x" << (j - i);
+    i = j;
+  }
+  return os.str();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  std::int64_t nodes = 0, seed = 0, jobCount = 0, jobs = 0;
+  double arrivalRate = 0, threshold = 0;
+  std::string policyName, jsonPath;
+  bool smoke = false;
+  try {
+    nodes = cli.integer("nodes", 8, "cluster size in nodes");
+    policyName = cli.str("policy", "equipartition",
+                         "primary policy: fcfs-rigid | equipartition | efficiency-shrink");
+    seed = cli.integer("seed", 1, "workload seed (arrivals + class mix)");
+    arrivalRate = cli.real("arrival-rate", 0.15, "Poisson arrival rate [jobs/s]");
+    jobCount = cli.integer("job-count", 12, "number of arriving jobs");
+    threshold = cli.real("threshold", 0.5, "efficiency-shrink release threshold");
+    jobs = cli.integer("jobs", 0, "concurrent profile simulations (0 = hardware concurrency)");
+    jsonPath = cli.str("json", "", "write the full report to this JSON file");
+    smoke = cli.flag("smoke", "reduced CI workload (6 jobs)");
+    if (cli.helpRequested()) {
+      std::printf("%s", cli.helpText().c_str());
+      return 0;
+    }
+    cli.finish();
+    if (nodes < 2 || nodes > 4096) throw ConfigError("--nodes must be in [2, 4096]");
+    if (jobCount < 1 || jobCount > 100000) throw ConfigError("--job-count must be >= 1");
+    if (jobs < 0 || jobs > 4096) throw ConfigError("--jobs must be in [0, 4096]");
+    if (arrivalRate <= 0) throw ConfigError("--arrival-rate must be positive");
+    if (threshold <= 0 || threshold >= 1) throw ConfigError("--threshold must be in (0, 1)");
+    sched::makePolicy(policyName); // validates the name
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), cli.helpText().c_str());
+    return 2;
+  }
+
+  sched::WorkloadConfig wcfg;
+  wcfg.seed = static_cast<std::uint64_t>(seed);
+  wcfg.jobCount = smoke ? 6 : static_cast<std::int32_t>(jobCount);
+  wcfg.arrivalRatePerSec = arrivalRate;
+  const auto workload =
+      sched::Workload::generate(wcfg, static_cast<std::int32_t>(nodes));
+  std::printf("workload: %s\n", workload.describe().c_str());
+
+  const sched::ProfileSettings settings;
+  std::size_t sims = 0;
+  for (const auto& k : workload.cfg.classes)
+    sims += sched::feasibleAllocations(k, static_cast<std::int32_t>(nodes)).size();
+  std::printf("profiling %zu (class x allocation) points on the DPS engine (--jobs %lld)...\n",
+              sims, static_cast<long long>(jobs));
+  const auto profiles =
+      sched::JobProfileTable::build(workload.cfg.classes, static_cast<std::int32_t>(nodes),
+                                    settings, static_cast<unsigned>(jobs));
+
+  Table prof("job profiles (per-phase model from PDEXEC runs)");
+  prof.header({"class", "allocs", "phases", "best [s]", "state [MB]"});
+  for (std::size_t c = 0; c < profiles.classCount(); ++c) {
+    const auto& cp = profiles.of(c);
+    std::ostringstream al;
+    for (std::size_t i = 0; i < cp.allocs.size(); ++i) al << (i ? "," : "") << cp.allocs[i];
+    prof.row({cp.name, al.str(), std::to_string(cp.phases()), Table::num(cp.bestSec(), 2),
+              Table::num(cp.stateBytes / 1e6, 1)});
+  }
+  prof.print(std::cout);
+
+  const auto ccfg =
+      sched::ClusterConfig::fromProfile(settings.platform, static_cast<std::int32_t>(nodes));
+  std::vector<sched::ClusterMetrics> results;
+  for (const std::string& name : sched::policyNames()) {
+    auto policy = name == "efficiency-shrink"
+                      ? std::make_unique<sched::EfficiencyShrink>(threshold)
+                      : sched::makePolicy(name);
+    results.push_back(sched::simulateCluster(ccfg, workload, profiles, *policy));
+  }
+
+  // Ranked comparison: best mean slowdown first.
+  std::vector<std::size_t> order(results.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (results[a].meanSlowdown != results[b].meanSlowdown)
+      return results[a].meanSlowdown < results[b].meanSlowdown;
+    return a < b;
+  });
+  Table cmp("policy comparison (" + std::to_string(workload.jobs.size()) + " jobs, " +
+            std::to_string(nodes) + " nodes, seed " + std::to_string(seed) + ")");
+  cmp.header({"rank", "policy", "mean slowdown", "max slowdown", "mean wait [s]", "makespan [s]",
+              "utilization", "reallocs"});
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    const auto& m = results[order[r]];
+    cmp.row({std::to_string(r + 1), m.policy, Table::num(m.meanSlowdown, 2),
+             Table::num(m.maxSlowdown, 2), Table::num(m.meanWaitSec, 1),
+             Table::num(m.makespanSec, 1), Table::pct(m.utilization, 1),
+             std::to_string(m.reallocations)});
+  }
+  cmp.print(std::cout);
+
+  // Per-job detail for the primary policy.
+  const sched::ClusterMetrics* primary = nullptr;
+  for (const auto& m : results)
+    if (m.policy == policyName) primary = &m;
+  DPS_CHECK(primary != nullptr, "primary policy missing from the result set");
+  Table detail("per-job outcomes under " + policyName);
+  detail.header({"job", "class", "arrival [s]", "wait [s]", "finish [s]", "slowdown", "allocs"});
+  for (const auto& j : primary->jobs)
+    detail.row({std::to_string(j.id), j.klass, Table::num(j.arrivalSec, 1),
+                Table::num(j.waitSec(), 1), Table::num(j.finishSec, 1),
+                Table::num(j.slowdown(), 2), describeAllocs(j.allocs)});
+  detail.print(std::cout);
+
+  if (!jsonPath.empty()) {
+    std::ofstream os(jsonPath);
+    if (!os) {
+      std::fprintf(stderr, "cannot write JSON to %s\n", jsonPath.c_str());
+      return 1;
+    }
+    os << "{\"nodes\":" << nodes << ",\"seed\":" << seed
+       << ",\"job_count\":" << workload.jobs.size()
+       << ",\"arrival_rate\":" << jsonDouble(arrivalRate) << ",\"primary\":\""
+       << jsonEscape(policyName) << "\""
+       << ",\"workload\":\"" << jsonEscape(workload.describe()) << "\",\"policies\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i) os << ",";
+      results[i].writeJson(os);
+    }
+    os << "]}\n";
+    std::printf("wrote %s\n", jsonPath.c_str());
+  }
+  return 0;
+}
