@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   struct PolicyAgg {
     OnlineStats slowdown, utilization, wait;
     std::int32_t reallocations = 0;
+    std::int32_t growthGrants = 0; // phase-boundary allocation increases
   };
   std::map<std::string, PolicyAgg> agg;
   std::ostringstream pointsJson;
@@ -53,7 +54,10 @@ int main(int argc, char** argv) {
     for (std::uint64_t seed : seeds) {
       sched::WorkloadConfig wcfg;
       wcfg.seed = seed;
-      wcfg.jobCount = args.smoke ? 8 : 12;
+      // The event loop is cheap next to the (shared) profile table, so even
+      // the smoke run plays the full default workload — the growth-grant
+      // check needs its tail jobs.
+      wcfg.jobCount = 12;
       wcfg.arrivalRatePerSec = rate;
       wcfg.classes = classes;
       const auto workload = sched::Workload::generate(wcfg, nodes);
@@ -71,6 +75,9 @@ int main(int argc, char** argv) {
         a.utilization.add(m.utilization);
         a.wait.add(m.meanWaitSec);
         a.reallocations += m.reallocations;
+        for (const auto& j : m.jobs)
+          for (std::size_t p = 1; p < j.allocs.size(); ++p)
+            a.growthGrants += j.allocs[p] > j.allocs[p - 1];
         if (seed == 1 && rate == 0.15) {
           if (name == "fcfs-rigid") defaultFcfs = m.meanSlowdown;
           if (name == "equipartition") defaultEquip = m.meanSlowdown;
@@ -91,6 +98,9 @@ int main(int argc, char** argv) {
                "equipartition beats fcfs-rigid on mean slowdown (sweep aggregate)");
   bench::check(agg["efficiency-shrink"].reallocations > 0,
                "efficiency-shrink policy actually releases nodes");
+  bench::check(agg["grow-eager"].growthGrants > 0,
+               "grow-eager policy triggers growth grants on the default workload sweep");
+  bench::check(agg["fcfs-rigid"].growthGrants == 0, "rigid jobs never grow");
   bench::check(agg["equipartition"].wait.mean() < agg["fcfs-rigid"].wait.mean(),
                "malleable scheduling shortens mean job wait vs rigid FCFS");
 
@@ -103,7 +113,8 @@ int main(int argc, char** argv) {
     extra << "\"" << jsonEscape(name) << "\":{\"mean_slowdown\":" << jsonDouble(a.slowdown.mean())
           << ",\"mean_utilization\":" << jsonDouble(a.utilization.mean())
           << ",\"mean_wait_sec\":" << jsonDouble(a.wait.mean())
-          << ",\"reallocations\":" << a.reallocations << "}";
+          << ",\"reallocations\":" << a.reallocations
+          << ",\"growth_grants\":" << a.growthGrants << "}";
   }
   extra << "},\"points\":[" << pointsJson.str() << "]";
   return bench::finish("cluster_policies", args.opts, nullptr, extra.str());

@@ -202,6 +202,7 @@ RunResult SimEngine::run(const flow::Program& program) {
   }
   recordAllocation();
 
+  if (runStartHook_) runStartHook_();
   injectInputs();
   sched_->run();
   checkQuiescence();

@@ -55,6 +55,15 @@ public:
   using MarkerHook = std::function<void(const std::string&, std::int64_t, SimTime)>;
   void setMarkerHook(MarkerHook hook) { markerHook_ = std::move(hook); }
 
+  /// Called once per run() after threads, states and the network exist but
+  /// before the first input injects — the only instant an allocation change
+  /// can apply before any compute segment.  Replay controllers use this to
+  /// start a program below its build-time worker count (e.g. a job admitted
+  /// at 2 of its 4 feasible nodes).  Allowed calls match marker hooks:
+  /// deactivateThread/activateThread/injectTransfer/threadStateDuringRun.
+  using RunStartHook = std::function<void()>;
+  void setRunStartHook(RunStartHook hook) { runStartHook_ = std::move(hook); }
+
   /// Runs the program to completion and returns predictions + trace.
   /// Throws Error on deadlock (incomplete scopes at quiescence).
   RunResult run(const flow::Program& program);
@@ -164,6 +173,7 @@ private:
 
   SimConfig cfg_;
   MarkerHook markerHook_;
+  RunStartHook runStartHook_;
 
   // --- per-run state ---
   const flow::FlowGraph* graph_ = nullptr;

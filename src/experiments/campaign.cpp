@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "support/csv.hpp"
 #include "support/json.hpp"
 
 namespace dps::exp {
@@ -18,17 +19,6 @@ std::vector<T> orDefault(const std::vector<T>& dim, T fallback) {
 
 /// Round-trippable double formatting for the JSON/CSV emitters.
 std::string fmtDouble(double v) { return dps::jsonDouble(v); }
-
-/// Escapes an embedded field for CSV: double any inner quote (RFC 4180).
-std::string csvEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  return out;
-}
 
 void writeStats(std::ostream& os, const OnlineStats& s) {
   os << "{\"count\":" << s.count() << ",\"mean\":" << fmtDouble(s.mean())
@@ -134,9 +124,9 @@ void CampaignResult::writeCsv(std::ostream& os) const {
   for (std::size_t i = 0; i < observations.size(); ++i) {
     const auto& obs = observations[i];
     const auto& p = points[i];
-    os << '"' << csvEscape(obs.label) << "\"," << p.cfg.n << ',' << p.cfg.r << ','
-       << p.cfg.workers << ",\"" << csvEscape(p.cfg.variantName()) << "\",\""
-       << csvEscape(p.plan.describe()) << "\"," << p.fidelitySeed << ','
+    os << csvQuote(obs.label) << "," << p.cfg.n << ',' << p.cfg.r << ',' << p.cfg.workers << ','
+       << csvQuote(p.cfg.variantName()) << ',' << csvQuote(p.plan.describe()) << ','
+       << p.fidelitySeed << ','
        << fmtDouble(obs.measuredSec) << ',' << fmtDouble(obs.predictedSec) << ','
        << fmtDouble(obs.error()) << '\n';
   }

@@ -33,6 +33,7 @@ LuMalleabilityController::LuMalleabilityController(core::SimEngine& engine, lu::
   engine_.setMarkerHook([this](const std::string& name, std::int64_t value, SimTime when) {
     onMarker(name, value, when);
   });
+  engine_.setRunStartHook([this] { onRunStart(); });
 }
 
 LuMalleabilityController::LuMalleabilityController(core::SimEngine& engine, lu::LuBuild& build,
@@ -44,6 +45,7 @@ LuMalleabilityController::LuMalleabilityController(core::SimEngine& engine, lu::
   engine_.setMarkerHook([this](const std::string& name, std::int64_t value, SimTime when) {
     onMarker(name, value, when);
   });
+  engine_.setRunStartHook([this] { onRunStart(); });
 }
 
 void LuMalleabilityController::evaluateEfficiency(std::int64_t iteration, SimTime when) {
@@ -80,6 +82,13 @@ void LuMalleabilityController::evaluateEfficiency(std::int64_t iteration, SimTim
              step.threads.size(), " workers after iteration ", iteration);
     applyStep(step, iteration);
   }
+}
+
+void LuMalleabilityController::onRunStart() {
+  for (const GrowStep& step : plan_.grows)
+    DPS_CHECK(step.afterIteration > 0, "grow step at iteration 0 re-adds before any removal");
+  for (const RemovalStep& step : plan_.steps)
+    if (step.afterIteration == 0) applyStep(step, 0);
 }
 
 void LuMalleabilityController::onMarker(const std::string& name, std::int64_t value,

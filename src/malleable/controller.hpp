@@ -72,6 +72,11 @@ public:
   const std::vector<double>& observedEfficiencies() const { return observedEff_; }
 
 private:
+  /// Applies plan steps scheduled at iteration 0: removals that take effect
+  /// before the first compute segment (a replayed job that started below
+  /// the build's worker count).  Grow steps at iteration 0 are rejected —
+  /// there is nothing removed yet to re-add.
+  void onRunStart();
   void onMarker(const std::string& name, std::int64_t value, SimTime when);
   void applyStep(const RemovalStep& step, std::int64_t iteration);
   void applyGrow(const GrowStep& step, std::int64_t iteration);

@@ -56,6 +56,9 @@ private:
     std::int32_t nodes = 0; // current allocation (0 = not running)
     std::int32_t phase = 0; // next phase index
     bool finished = false;
+    /// Profile-estimated finish assuming the current allocation holds —
+    /// the running-job knowledge EASY backfill reserves against.
+    double estFinishSec = 0;
     JobOutcome out;
   };
 
@@ -86,7 +89,9 @@ private:
   }
 
   /// Offers queued jobs to the policy strictly in arrival order; stops at
-  /// the first one that does not start (no backfill).
+  /// the first one that does not start.  With EASY backfill enabled, a
+  /// capacity-blocked head additionally triggers a backfill pass over the
+  /// younger queued jobs.
   void admissionScan() {
     while (!queue_.empty()) {
       const std::size_t i = queue_.front();
@@ -95,11 +100,65 @@ private:
       qv.id = jobs_[i].out.id;
       qv.waitedSec = nowSec() - jobs_[i].out.arrivalSec;
       const std::int32_t want = policy_.admit(qv, profile, view());
-      if (want <= 0) return;
+      if (want <= 0) return; // the policy itself keeps the head queued
       const std::int32_t alloc = profile.clampFeasible(std::min(want, profile.maxNodes()));
-      if (alloc > free_) return; // head-of-line blocked until nodes free up
+      if (alloc > free_) { // head-of-line blocked until nodes free up
+        if (cfg_.easyBackfill) backfillScan(alloc);
+        return;
+      }
       queue_.pop_front();
       startJob(i, alloc);
+    }
+  }
+
+  /// EASY backfill (Lifka '95): the blocked head holds a reservation of
+  /// `headAlloc` nodes at the *shadow time* — the earliest instant enough
+  /// nodes are free assuming running jobs keep their allocations and finish
+  /// per their remaining phase profiles.  A younger job may start now only
+  /// if it cannot delay that reservation: it finishes before the shadow
+  /// time, or it fits into the `spare` nodes left over once the head
+  /// starts.
+  void backfillScan(std::int32_t headAlloc) {
+    std::vector<std::pair<double, std::int32_t>> frees; // (est finish, nodes)
+    for (const JobRt& rt : jobs_)
+      if (rt.nodes > 0 && !rt.finished) frees.emplace_back(rt.estFinishSec, rt.nodes);
+    std::sort(frees.begin(), frees.end());
+    const double now = nowSec();
+    std::int32_t avail = free_;
+    double shadow = -1;
+    std::int32_t spare = 0;
+    for (const auto& [finish, nodes] : frees) {
+      avail += nodes;
+      if (avail >= headAlloc) {
+        shadow = std::max(finish, now);
+        spare = avail - headAlloc;
+        break;
+      }
+    }
+    if (shadow < 0) return; // the head can never fit; nothing to reserve
+
+    for (std::size_t qi = 1; qi < queue_.size();) {
+      const std::size_t i = queue_[qi];
+      const ClassProfile& profile = profileOf(i);
+      QueuedJobView qv;
+      qv.id = jobs_[i].out.id;
+      qv.waitedSec = now - jobs_[i].out.arrivalSec;
+      const std::int32_t want = policy_.admit(qv, profile, view());
+      bool started = false;
+      if (want > 0) {
+        const std::int32_t alloc = profile.clampFeasible(std::min(want, profile.maxNodes()));
+        if (alloc <= free_) {
+          const bool finishesInTime = now + profile.at(alloc).totalSec <= shadow + 1e-9;
+          if (finishesInTime || alloc <= spare) {
+            if (!finishesInTime) spare -= alloc; // occupies part of the surplus past the shadow
+            queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+            jobs_[i].out.backfilled = true;
+            startJob(i, alloc);
+            started = true;
+          }
+        }
+      }
+      if (!started) ++qi;
     }
   }
 
@@ -113,10 +172,20 @@ private:
     schedulePhase(i);
   }
 
+  /// Profiled runtime of phases [first, phases) at `nodes`.
+  double remainingSec(std::size_t i, std::int32_t first, std::int32_t nodes) const {
+    const PhaseProfile& p = profileOf(i).at(nodes);
+    double rest = 0;
+    for (std::size_t q = static_cast<std::size_t>(first); q < p.phaseSec.size(); ++q)
+      rest += p.phaseSec[q];
+    return rest;
+  }
+
   void schedulePhase(std::size_t i) {
     JobRt& rt = jobs_[i];
     const PhaseProfile& p = profileOf(i).at(rt.nodes);
     rt.out.allocs.push_back(rt.nodes);
+    rt.estFinishSec = nowSec() + remainingSec(i, rt.phase, rt.nodes);
     sched_.scheduleAfter(seconds(p.phaseSec[static_cast<std::size_t>(rt.phase)]),
                          [this, i] { onPhaseEnd(i); });
   }
@@ -164,6 +233,7 @@ private:
     if (cfg_.chargeMigration) {
       const SimDuration delay =
           cfg_.migrationLatency + seconds(bytes / cfg_.migrationBandwidthBytesPerSec);
+      rt.estFinishSec = nowSec() + toSeconds(delay) + remainingSec(i, rt.phase, rt.nodes);
       sched_.scheduleAfter(delay, [this, i] { schedulePhase(i); });
     } else {
       schedulePhase(i);

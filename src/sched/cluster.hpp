@@ -39,6 +39,14 @@ struct ClusterConfig {
   /// Ablation: zero-cost reconfiguration (isolates policy quality from
   /// migration overhead).
   bool chargeMigration = true;
+  /// EASY backfill (Lifka) on the admission scan: when the head of the
+  /// queue is capacity-blocked it receives a reservation at the earliest
+  /// time enough nodes free up — computed from the running jobs' remaining
+  /// phase profiles at their current allocations — and younger queued jobs
+  /// may start now only if they cannot delay that reservation (they finish
+  /// before the shadow time, or fit into the nodes spare beyond the head's
+  /// need).  Off by default: the scan stops at the first blocked job.
+  bool easyBackfill = false;
 
   static ClusterConfig fromProfile(const net::PlatformProfile& p, std::int32_t nodes) {
     ClusterConfig cfg;

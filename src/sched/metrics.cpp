@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "support/csv.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
 
@@ -61,7 +62,8 @@ void ClusterMetrics::writeJson(std::ostream& os) const {
        << ",\"finish_sec\":" << fmt(j.finishSec) << ",\"best_sec\":" << fmt(j.bestSec)
        << ",\"wait_sec\":" << fmt(j.waitSec()) << ",\"slowdown\":" << fmt(j.slowdown())
        << ",\"reallocations\":" << j.reallocations
-       << ",\"migrated_bytes\":" << fmt(j.migratedBytes) << ",\"allocs\":[";
+       << ",\"migrated_bytes\":" << fmt(j.migratedBytes)
+       << ",\"backfilled\":" << (j.backfilled ? "true" : "false") << ",\"allocs\":[";
     for (std::size_t a = 0; a < j.allocs.size(); ++a) {
       if (a) os << ",";
       os << j.allocs[a];
@@ -84,11 +86,12 @@ std::string ClusterMetrics::jsonString() const {
 
 void ClusterMetrics::writeCsv(std::ostream& os) const {
   os << "id,class,arrival_sec,start_sec,finish_sec,best_sec,wait_sec,slowdown,"
-        "reallocations,migrated_bytes\n";
+        "reallocations,migrated_bytes,backfilled\n";
   for (const JobOutcome& j : jobs) {
-    os << j.id << "," << j.klass << "," << fmt(j.arrivalSec) << "," << fmt(j.startSec) << ","
-       << fmt(j.finishSec) << "," << fmt(j.bestSec) << "," << fmt(j.waitSec()) << ","
-       << fmt(j.slowdown()) << "," << j.reallocations << "," << fmt(j.migratedBytes) << "\n";
+    os << j.id << "," << csvQuote(j.klass) << "," << fmt(j.arrivalSec) << "," << fmt(j.startSec)
+       << "," << fmt(j.finishSec) << "," << fmt(j.bestSec) << "," << fmt(j.waitSec()) << ","
+       << fmt(j.slowdown()) << "," << j.reallocations << "," << fmt(j.migratedBytes) << ","
+       << (j.backfilled ? 1 : 0) << "\n";
   }
 }
 

@@ -22,6 +22,8 @@ struct JobOutcome {
   std::vector<std::int32_t> allocs;
   std::int32_t reallocations = 0;
   double migratedBytes = 0;
+  /// Started ahead of an older blocked job under EASY backfill.
+  bool backfilled = false;
 
   /// Clamped at zero: SimTime quantization can land the start a nanosecond
   /// before the nominal arrival.

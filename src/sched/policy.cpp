@@ -16,15 +16,38 @@ std::int32_t FcfsRigid::reallocate(const RunningJobView& job, const ClassProfile
   return job.nodes;
 }
 
-std::int32_t Equipartition::share(const ClassProfile& profile, const ClusterView& view) {
+namespace {
+
+/// totalNodes / max(1, running + queued), clamped into the class's feasible
+/// allocation set.
+std::int32_t fairShare(const ClassProfile& profile, const ClusterView& view) {
   const std::int32_t jobs = std::max(1, view.runningJobs + view.queuedJobs);
   const std::int32_t fair = std::max(1, view.totalNodes / jobs);
   return profile.clampFeasible(std::min(fair, profile.maxNodes()));
 }
 
+/// Admission for share-based policies: the fair share when it fits, else
+/// the largest feasible allocation that does — rather than idling the free
+/// nodes behind a blocked head job, the job starts small and grows back
+/// toward its entitlement at the next phase boundaries.  When nothing
+/// feasible fits, returns the (too large) share, which keeps the job
+/// queued.
+std::int32_t admitShareOrFit(const ClassProfile& profile, const ClusterView& view) {
+  const std::int32_t fair = fairShare(profile, view);
+  if (fair <= view.freeNodes) return fair;
+  const std::int32_t fit = profile.clampFeasible(view.freeNodes);
+  return fit <= view.freeNodes ? fit : fair;
+}
+
+} // namespace
+
+std::int32_t Equipartition::share(const ClassProfile& profile, const ClusterView& view) {
+  return fairShare(profile, view);
+}
+
 std::int32_t Equipartition::admit(const QueuedJobView&, const ClassProfile& profile,
                                   const ClusterView& view) {
-  return share(profile, view);
+  return admitShareOrFit(profile, view);
 }
 
 std::int32_t Equipartition::reallocate(const RunningJobView&, const ClassProfile& profile,
@@ -50,16 +73,32 @@ std::int32_t EfficiencyShrink::reallocate(const RunningJobView& job, const Class
   return below;
 }
 
+std::int32_t GrowEager::admit(const QueuedJobView&, const ClassProfile& profile,
+                              const ClusterView& view) {
+  // Start at the (fitting) fair share like Equipartition — under contention
+  // jobs begin small, which is exactly what makes later growth grants
+  // possible once the cluster drains.
+  return admitShareOrFit(profile, view);
+}
+
+std::int32_t GrowEager::reallocate(const RunningJobView& job, const ClassProfile& profile,
+                                   const ClusterView& view) {
+  // Absorb whatever is free: clampFeasible never steps below the job's
+  // current (feasible) allocation, so this policy only ever grows.
+  return profile.clampFeasible(job.nodes + view.freeNodes);
+}
+
 std::unique_ptr<Policy> makePolicy(const std::string& name) {
   if (name == "fcfs-rigid") return std::make_unique<FcfsRigid>();
   if (name == "equipartition") return std::make_unique<Equipartition>();
   if (name == "efficiency-shrink") return std::make_unique<EfficiencyShrink>();
+  if (name == "grow-eager") return std::make_unique<GrowEager>();
   throw ConfigError("unknown policy '" + name +
-                    "' (expected fcfs-rigid | equipartition | efficiency-shrink)");
+                    "' (expected fcfs-rigid | equipartition | efficiency-shrink | grow-eager)");
 }
 
 std::vector<std::string> policyNames() {
-  return {"fcfs-rigid", "equipartition", "efficiency-shrink"};
+  return {"fcfs-rigid", "equipartition", "efficiency-shrink", "grow-eager"};
 }
 
 } // namespace dps::sched

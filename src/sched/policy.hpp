@@ -18,6 +18,8 @@
 //     mall::EfficiencyPolicy (paper §9): jobs start as large as currently
 //     possible and release nodes whenever the *profiled* dynamic efficiency
 //     of their upcoming phase falls below a threshold.
+//   * GrowEager         — the opposite direction: freed nodes are handed to
+//     running jobs at their next phase boundary instead of idling.
 #pragma once
 
 #include <cstdint>
@@ -109,8 +111,23 @@ private:
   double threshold_;
 };
 
+/// Hands freed nodes straight back to running jobs: admission starts a job
+/// at its fitting fair share (like Equipartition), and at every phase
+/// boundary a running job grows into whatever nodes are free — the scheduler
+/// loop has always granted growth from free nodes, this is the first policy
+/// built around asking for it.  Never shrinks.
+class GrowEager final : public Policy {
+public:
+  std::string name() const override { return "grow-eager"; }
+  std::int32_t admit(const QueuedJobView& job, const ClassProfile& profile,
+                     const ClusterView& view) override;
+  std::int32_t reallocate(const RunningJobView& job, const ClassProfile& profile,
+                          const ClusterView& view) override;
+};
+
 /// Factory for the tool/bench --policy flags: "fcfs-rigid" | "equipartition"
-/// | "efficiency-shrink".  Throws ConfigError on unknown names.
+/// | "efficiency-shrink" | "grow-eager".  Throws ConfigError on unknown
+/// names.
 std::unique_ptr<Policy> makePolicy(const std::string& name);
 /// All policy names, in ranking-report order.
 std::vector<std::string> policyNames();

@@ -1,6 +1,7 @@
 #include "sched/profile.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/engine.hpp"
 #include "jacobi/app.hpp"
@@ -41,33 +42,45 @@ double ClassProfile::bestSec() const {
 
 double ClassProfile::migrationBytes(std::int32_t phase, std::int32_t from, std::int32_t to) const {
   if (from == to) return 0;
-  // Ownership is (approximately) evenly spread over the current workers;
-  // moving between allocations relocates the share of the *live* state held
-  // by the workers that appear or disappear.
-  const double churn = static_cast<double>(std::abs(from - to)) / std::max(from, to);
-  double live = stateBytes;
-  if (stateShrinks) {
-    const double total = phases();
-    live *= (total - static_cast<double>(phase)) / total;
+  if (!stateShrinks) {
+    // Live-grid apps (Jacobi): the whole state is evenly spread over the
+    // current workers; moving between allocations relocates the share held
+    // by the workers that appear or disappear.
+    const double churn = static_cast<double>(std::abs(from - to)) / std::max(from, to);
+    return stateBytes * churn;
   }
-  return live * churn;
+  // Column-granular apps (LU): mirror mall::LuMalleabilityController's
+  // per-direction byte accounting.  One column block = stateBytes / phases
+  // (the controller charges the full n x r panel per move, factored or not).
+  const double cols = phases();
+  const double colBytes = stateBytes / cols;
+  if (to < from) {
+    // Shrink: a removed worker migrates *every* column it owns — factored
+    // columns included (the column whose panel is about to run is merely
+    // deferred to the next boundary, not exempted).  With ownership evenly
+    // spread, the removed workers hold a (from - to) / from share.
+    return colBytes * cols * static_cast<double>(from - to) / from;
+  }
+  // Grow: re-added workers receive only still-unfactored, unpinned columns
+  // (index > phase).  The controller rebalances one worker at a time toward
+  // a ceil-share of the future columns over the then-active workers, so the
+  // k-th re-added worker pulls ceil(future / (from + k)) columns — when the
+  // future columns are scarcer than the re-added workers the same column
+  // hops across each of them in turn, and the traffic reflects that.
+  const double future = std::max(0.0, cols - 1.0 - static_cast<double>(phase));
+  double moved = 0;
+  for (std::int32_t k = 1; k <= to - from; ++k)
+    moved += std::ceil(future / static_cast<double>(from + k));
+  return colBytes * moved;
 }
 
 namespace {
-
-core::SimConfig profileSimConfig(const ProfileSettings& settings) {
-  core::SimConfig sc;
-  sc.profile = settings.platform;
-  sc.mode = core::ExecutionMode::Pdexec;
-  sc.allocatePayloads = false;
-  return sc;
-}
 
 /// Runs one (class, allocation) simulation and slices the trace at the
 /// app's progress markers.
 PhaseProfile profileOne(const JobClass& klass, std::int32_t nodes,
                         const ProfileSettings& settings) {
-  core::SimEngine engine(profileSimConfig(settings));
+  core::SimEngine engine(settings.simConfig());
   core::RunResult run;
   const char* markerName = nullptr;
   if (klass.app == AppKind::Lu) {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/config.hpp"
 #include "net/profile.hpp"
 #include "sched/workload.hpp"
 
@@ -31,6 +32,17 @@ struct ProfileSettings {
   net::PlatformProfile platform = net::ultraSparc440();
   lu::KernelCostModel luModel = lu::KernelCostModel::ultraSparc440();
   jacobi::JacobiCostModel jacobiModel{};
+
+  /// The engine configuration every profile run uses: PDEXEC NOALLOC on
+  /// this platform.  sched::replay runs with the identical configuration so
+  /// prediction and replay differ only by what the cluster loop abstracts.
+  core::SimConfig simConfig() const {
+    core::SimConfig sc;
+    sc.profile = platform;
+    sc.mode = core::ExecutionMode::Pdexec;
+    sc.allocatePayloads = false;
+    return sc;
+  }
 };
 
 /// One class's behaviour at one allocation.
@@ -63,7 +75,12 @@ struct ClassProfile {
   std::int32_t clampFeasible(std::int32_t want) const;
   /// Shortest achievable runtime across allocations (slowdown denominator).
   double bestSec() const;
-  /// Bytes that move when reallocating from -> to before phase `phase`.
+  /// Bytes that move when reallocating from -> to before phase `phase`,
+  /// mirroring the in-engine controller's per-direction accounting: shrink
+  /// moves every column the removed workers own (full panels, factored or
+  /// not); grow moves only still-unfactored columns, a ceil-share per
+  /// re-added worker.  sched::replay validates this model against the
+  /// controller's actual shrink/grow byte counters.
   double migrationBytes(std::int32_t phase, std::int32_t from, std::int32_t to) const;
 };
 

@@ -1,0 +1,25 @@
+// Minimal CSV emission helper shared by the report writers (campaign /
+// cluster-metrics CSV emitters).
+#pragma once
+
+#include <string>
+
+namespace dps {
+
+/// Renders one RFC-4180 CSV field: the value wrapped in double quotes with
+/// any embedded quote doubled.  Always quoting keeps emitters simple and is
+/// explicitly allowed by the RFC; commas, quotes and newlines inside the
+/// value all survive a round trip.
+inline std::string csvQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+} // namespace dps

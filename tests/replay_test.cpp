@@ -1,0 +1,191 @@
+// sched::replay — in-engine replay validation of the cluster scheduler's
+// profile-table predictions: plan conversion, the prediction-vs-replay
+// tolerance contract, migration-bytes parity with the mall:: controller,
+// and bit-identity across replay concurrency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/cluster.hpp"
+#include "sched/replay.hpp"
+
+namespace dps::sched {
+namespace {
+
+JobClass luTiny() {
+  JobClass lu;
+  lu.name = "lu-tiny";
+  lu.app = AppKind::Lu;
+  lu.lu.n = 64;
+  lu.lu.r = 8;
+  lu.lu.workers = 4;
+  lu.lu.seed = 3;
+  return lu;
+}
+
+JobClass jacobiTiny() {
+  JobClass ja;
+  ja.name = "jacobi-tiny";
+  ja.app = AppKind::Jacobi;
+  ja.jacobi.rows = 64;
+  ja.jacobi.cols = 64;
+  ja.jacobi.sweeps = 6;
+  ja.jacobi.workers = 4;
+  return ja;
+}
+
+/// One hand-built single-job "cluster result" whose allocation history is
+/// exactly `allocs` — the minimal fixture for replaying a known plan.
+struct HandRolled {
+  Workload workload;
+  JobProfileTable table;
+  ClusterMetrics metrics;
+
+  explicit HandRolled(const std::vector<std::int32_t>& allocs)
+      : table(JobProfileTable::build({luTiny()}, 4, {}, 1)) {
+    workload.cfg.classes = {luTiny()};
+    workload.cfg.seed = 1;
+    workload.jobs = {Job{0, 0, 0.0}};
+    const ClassProfile& profile = table.of(0);
+    JobOutcome out;
+    out.id = 0;
+    out.klass = profile.name;
+    out.allocs = allocs;
+    double t = 0;
+    for (std::size_t p = 0; p < allocs.size(); ++p) {
+      t += profile.at(allocs[p]).phaseSec[p];
+      if (p + 1 < allocs.size() && allocs[p + 1] != allocs[p]) {
+        out.reallocations++;
+        out.migratedBytes += profile.migrationBytes(static_cast<std::int32_t>(p) + 1, allocs[p],
+                                                    allocs[p + 1]);
+      }
+    }
+    out.startSec = 0;
+    out.finishSec = t;
+    metrics.policy = "hand-rolled";
+    metrics.nodes = 4;
+    metrics.seed = 1;
+    metrics.jobs = {out};
+  }
+};
+
+TEST(PlanFromHistoryTest, ShrinkAndGrowStepsWithLifoReadd) {
+  const auto plan = planFromHistory({4, 4, 2, 2, 4, 4, 1, 1});
+  ASSERT_EQ(plan.steps.size(), 2u);
+  ASSERT_EQ(plan.grows.size(), 1u);
+  EXPECT_EQ(plan.steps[0].afterIteration, 2);
+  EXPECT_EQ(plan.steps[0].threads, (std::vector<std::int32_t>{3, 2}));
+  EXPECT_EQ(plan.grows[0].afterIteration, 4);
+  // Most recently removed come back first: the active set stays a prefix.
+  EXPECT_EQ(plan.grows[0].threads, (std::vector<std::int32_t>{2, 3}));
+  EXPECT_EQ(plan.steps[1].afterIteration, 6);
+  EXPECT_EQ(plan.steps[1].threads, (std::vector<std::int32_t>{3, 2, 1}));
+}
+
+TEST(PlanFromHistoryTest, HistoryStartingBelowItsMaximumRemovesAtIterationZero) {
+  const auto plan = planFromHistory({2, 2, 4, 4});
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].afterIteration, 0);
+  EXPECT_EQ(plan.steps[0].threads, (std::vector<std::int32_t>{3, 2}));
+  ASSERT_EQ(plan.grows.size(), 1u);
+  EXPECT_EQ(plan.grows[0].afterIteration, 2);
+  EXPECT_EQ(plan.grows[0].threads, (std::vector<std::int32_t>{2, 3}));
+  EXPECT_TRUE(planFromHistory({4, 4, 4}).empty());
+}
+
+TEST(ReplayTest, SingleJobWithoutReallocationMatchesPredictionWithinTolerance) {
+  // A lone job is admitted at its fair share (= its maximum) and never
+  // reallocated, so the replay is the very simulation its profile was
+  // sliced from: the prediction must match to SimTime quantization.  This
+  // is the dps_cluster --replay acceptance contract.
+  WorkloadConfig wcfg;
+  wcfg.seed = 1;
+  wcfg.jobCount = 1;
+  wcfg.arrivalRatePerSec = 1.0;
+  wcfg.classes = {luTiny()};
+  const auto wl = Workload::generate(wcfg, 4);
+  const auto table = JobProfileTable::build(wl.cfg.classes, 4, {}, 1);
+  ClusterConfig ccfg;
+  ccfg.nodes = 4;
+  Equipartition policy;
+  const auto m = simulateCluster(ccfg, wl, table, policy);
+  ASSERT_EQ(m.jobs.size(), 1u);
+  ASSERT_EQ(m.jobs[0].reallocations, 0);
+
+  const auto rep = replaySchedule(m, wl, table, ReplaySettings{});
+  ASSERT_EQ(rep.jobs.size(), 1u);
+  EXPECT_EQ(rep.jobs[0].mode, ReplayMode::Static);
+  EXPECT_GT(rep.jobs[0].replayedSec, 0.0);
+  EXPECT_LT(std::abs(rep.jobs[0].makespanError()), 1e-6); // stated tolerance
+  EXPECT_EQ(rep.jobs[0].predictedBytes, 0.0);
+  EXPECT_EQ(rep.jobs[0].replayedBytes, 0.0);
+  EXPECT_EQ(rep.replayed, 1);
+  EXPECT_EQ(rep.unsupported, 0);
+  EXPECT_LT(rep.maxAbsMakespanError, 1e-6);
+}
+
+TEST(ReplayTest, ShrinkAndGrowBytesMatchTheControllerExactly) {
+  // The model parity contract behind ClassProfile::migrationBytes: on a
+  // history whose ceil-shares work out evenly, the scheduler's predicted
+  // bytes equal the controller's actual per-direction counters bit-for-bit.
+  const HandRolled fixture({4, 4, 2, 2, 2, 2, 4, 4});
+  const auto rep = replaySchedule(fixture.metrics, fixture.workload, fixture.table,
+                                  ReplaySettings{});
+  ASSERT_EQ(rep.jobs.size(), 1u);
+  EXPECT_EQ(rep.jobs[0].mode, ReplayMode::Controller);
+  EXPECT_GT(rep.jobs[0].replayedBytes, 0.0);
+  EXPECT_NEAR(rep.jobs[0].replayedBytes, rep.jobs[0].predictedBytes, 1.0);
+  // 4 -> 2 moves the removed workers' 4 columns; 2 -> 4 at phase 6 moves
+  // the single unfactored column twice (it hops across both re-added
+  // workers): 6 column blocks of n*r doubles in total.
+  const double colBytes = fixture.table.of(0).stateBytes / 8;
+  EXPECT_NEAR(rep.jobs[0].replayedBytes, 6 * colBytes, 1.0);
+}
+
+TEST(ReplayTest, GrowthAboveTheAdmittedAllocationReplays) {
+  // A job admitted below its maximum (the scheduler's grow grants raised it
+  // later) replays via a removal at iteration 0 — which must deactivate the
+  // surplus workers without moving any state, exactly as admission did.
+  const HandRolled fixture({2, 2, 2, 2, 4, 4, 4, 4});
+  const auto rep = replaySchedule(fixture.metrics, fixture.workload, fixture.table,
+                                  ReplaySettings{});
+  ASSERT_EQ(rep.jobs.size(), 1u);
+  EXPECT_EQ(rep.jobs[0].mode, ReplayMode::Controller);
+  EXPECT_GT(rep.jobs[0].replayedSec, 0.0);
+  // Only the grow migrates: 2 future columns pulled onto the re-added
+  // workers; the iteration-0 shrink moved nothing.
+  const double colBytes = fixture.table.of(0).stateBytes / 8;
+  EXPECT_NEAR(rep.jobs[0].replayedBytes, 2 * colBytes, 1.0);
+  EXPECT_NEAR(rep.jobs[0].replayedBytes, rep.jobs[0].predictedBytes, 1.0);
+}
+
+TEST(ReplayTest, BitIdenticalAtAnyReplayConcurrency) {
+  // The determinism contract of the whole validation loop: fan the replays
+  // over 4 pool workers and the report must be byte-identical to serial.
+  WorkloadConfig wcfg;
+  wcfg.seed = 2;
+  wcfg.jobCount = 8;
+  wcfg.arrivalRatePerSec = 2.0;
+  wcfg.classes = {luTiny(), jacobiTiny()};
+  const auto wl = Workload::generate(wcfg, 4);
+  const auto table = JobProfileTable::build(wl.cfg.classes, 4, {}, 1);
+  ClusterConfig ccfg;
+  ccfg.nodes = 4;
+  EfficiencyShrink aggressive(0.9); // force reallocations into the histories
+  const auto m = simulateCluster(ccfg, wl, table, aggressive);
+  ASSERT_GT(m.reallocations, 0);
+
+  ReplaySettings serial;
+  serial.jobs = 1;
+  ReplaySettings fanned;
+  fanned.jobs = 4;
+  const auto repSerial = replaySchedule(m, wl, table, serial);
+  const auto repFanned = replaySchedule(m, wl, table, fanned);
+  EXPECT_EQ(repSerial.jsonString(), repFanned.jsonString());
+  bool controller = false;
+  for (const auto& j : repSerial.jobs) controller = controller || j.mode == ReplayMode::Controller;
+  EXPECT_TRUE(controller); // at least one full controller replay ran
+}
+
+} // namespace
+} // namespace dps::sched

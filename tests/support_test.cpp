@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "support/cli.hpp"
+#include "support/csv.hpp"
 #include "support/error.hpp"
 #include "support/histogram.hpp"
 #include "support/rng.hpp"
@@ -17,6 +18,14 @@
 
 namespace dps {
 namespace {
+
+TEST(CsvTest, QuoteIsRfc4180) {
+  EXPECT_EQ(csvQuote("plain"), "\"plain\"");
+  EXPECT_EQ(csvQuote(""), "\"\"");
+  EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+  EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csvQuote("two\nlines"), "\"two\nlines\"");
+}
 
 TEST(TimeTest, ConstructorsAndConversions) {
   EXPECT_EQ(microseconds(1).count(), 1000);

@@ -9,7 +9,14 @@
 // and per-job slowdown.  The run is bit-identical across repetitions and
 // across --jobs values.
 //
+// With --replay the primary policy's allocation histories are additionally
+// replayed through the *full* per-application simulation (the mall::
+// controller migrating real column state at iteration boundaries) and the
+// profile-table predictions are scored against it — closing the prediction
+// loop the way the paper validates PDEXEC against direct execution.
+//
 //   $ dps_cluster --nodes 8 --policy equipartition --seed 1
+//   $ dps_cluster --nodes 8 --policy grow-eager --backfill --replay
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +25,7 @@
 #include <sstream>
 
 #include "sched/cluster.hpp"
+#include "sched/replay.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
@@ -49,17 +57,21 @@ int main(int argc, char** argv) {
   std::int64_t nodes = 0, seed = 0, jobCount = 0, jobs = 0;
   double arrivalRate = 0, threshold = 0;
   std::string policyName, jsonPath;
-  bool smoke = false;
+  bool smoke = false, backfill = false, replay = false;
   try {
     nodes = cli.integer("nodes", 8, "cluster size in nodes");
-    policyName = cli.str("policy", "equipartition",
-                         "primary policy: fcfs-rigid | equipartition | efficiency-shrink");
+    policyName =
+        cli.str("policy", "equipartition",
+                "primary policy: fcfs-rigid | equipartition | efficiency-shrink | grow-eager");
     seed = cli.integer("seed", 1, "workload seed (arrivals + class mix)");
     arrivalRate = cli.real("arrival-rate", 0.15, "Poisson arrival rate [jobs/s]");
     jobCount = cli.integer("job-count", 12, "number of arriving jobs");
     threshold = cli.real("threshold", 0.5, "efficiency-shrink release threshold");
     jobs = cli.integer("jobs", 0, "concurrent profile simulations (0 = hardware concurrency)");
     jsonPath = cli.str("json", "", "write the full report to this JSON file");
+    backfill = cli.flag("backfill", "EASY backfill on the admission scan (all policies)");
+    replay = cli.flag("replay", "replay the primary policy's allocation histories in-engine "
+                                "and report prediction errors");
     smoke = cli.flag("smoke", "reduced CI workload (6 jobs)");
     if (cli.helpRequested()) {
       std::printf("%s", cli.helpText().c_str());
@@ -106,8 +118,9 @@ int main(int argc, char** argv) {
   }
   prof.print(std::cout);
 
-  const auto ccfg =
+  auto ccfg =
       sched::ClusterConfig::fromProfile(settings.platform, static_cast<std::int32_t>(nodes));
+  ccfg.easyBackfill = backfill;
   std::vector<sched::ClusterMetrics> results;
   for (const std::string& name : sched::policyNames()) {
     auto policy = name == "efficiency-shrink"
@@ -150,6 +163,37 @@ int main(int argc, char** argv) {
                 Table::num(j.slowdown(), 2), describeAllocs(j.allocs)});
   detail.print(std::cout);
 
+  // In-engine replay of the primary policy's allocation histories: the
+  // cluster loop's profile-table predictions scored against the full
+  // per-application simulation they abstract.
+  sched::ReplayReport replayReport;
+  if (replay) {
+    std::printf("replaying %zu allocation histories in-engine (--jobs %lld)...\n",
+                primary->jobs.size(), static_cast<long long>(jobs));
+    sched::ReplaySettings rs;
+    rs.engine = settings;
+    rs.jobs = static_cast<unsigned>(jobs);
+    replayReport = sched::replaySchedule(*primary, workload, profiles, rs);
+    Table rt("prediction vs in-engine replay under " + policyName);
+    rt.header({"job", "class", "mode", "plan", "predicted [s]", "replayed [s]", "error",
+               "bytes err"});
+    for (const auto& j : replayReport.jobs) {
+      const bool replayed = j.mode != sched::ReplayMode::Unsupported;
+      rt.row({std::to_string(j.id), j.klass, sched::replayModeName(j.mode), j.plan,
+              Table::num(j.predictedSec, 2), replayed ? Table::num(j.replayedSec, 2) : "-",
+              replayed ? Table::pct(j.makespanError(), 1) : "-",
+              replayed ? Table::pct(j.bytesError(), 1) : "-"});
+    }
+    rt.print(std::cout);
+    std::printf("replayed %d of %zu jobs (%d unsupported): signed makespan error mean %+.2f%%, "
+                "|mean| %.2f%%, |max| %.2f%%; migrated-bytes error over %d migrating jobs: "
+                "mean %+.2f%%, |max| %.2f%%\n",
+                replayReport.replayed, replayReport.jobs.size(), replayReport.unsupported,
+                replayReport.meanMakespanError * 100.0, replayReport.meanAbsMakespanError * 100.0,
+                replayReport.maxAbsMakespanError * 100.0, replayReport.bytesJobs,
+                replayReport.meanBytesError * 100.0, replayReport.maxAbsBytesError * 100.0);
+  }
+
   if (!jsonPath.empty()) {
     std::ofstream os(jsonPath);
     if (!os) {
@@ -165,7 +209,12 @@ int main(int argc, char** argv) {
       if (i) os << ",";
       results[i].writeJson(os);
     }
-    os << "]}\n";
+    os << "]";
+    if (replay) {
+      os << ",\"replay\":";
+      replayReport.writeJson(os);
+    }
+    os << "}\n";
     std::printf("wrote %s\n", jsonPath.c_str());
   }
   return 0;
