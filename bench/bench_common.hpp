@@ -26,6 +26,7 @@
 #include "lu/builder.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
@@ -135,24 +136,20 @@ inline void writeJson(const std::string& path, const std::string& benchName,
     std::fprintf(stderr, "cannot write JSON to %s\n", path.c_str());
     return;
   }
-  os << "{\"bench\":\"" << exp::jsonEscape(benchName) << "\"";
-  os << ",\"jobs\":" << effectiveJobs(opts);
-  os << ",\"checks\":[";
+  JsonWriter w(os);
+  w.beginObject().field("bench", benchName).field("jobs", effectiveJobs(opts));
+  w.key("checks").beginArray();
   {
     std::lock_guard<std::mutex> lock(g_checkMutex);
-    for (std::size_t i = 0; i < g_checks.size(); ++i) {
-      if (i) os << ",";
-      os << "{\"claim\":\"" << exp::jsonEscape(g_checks[i].claim)
-         << "\",\"pass\":" << (g_checks[i].ok ? "true" : "false") << "}";
-    }
+    for (const CheckRecord& c : g_checks)
+      w.beginObject().field("claim", c.claim).field("pass", c.ok).endObject();
   }
-  os << "]";
-  if (campaign) {
-    os << ",\"campaign\":";
-    campaign->writeJson(os);
-  }
-  if (!extraJson.empty()) os << "," << extraJson;
-  os << "}\n";
+  w.endArray();
+  if (campaign) w.key("campaign").raw(campaign->jsonString());
+  w.rawMembers(extraJson);
+  w.endObject();
+  DPS_CHECK(w.closed(), "unbalanced bench JSON");
+  os << "\n";
   std::printf("wrote %s\n", path.c_str());
 }
 

@@ -18,6 +18,7 @@
 #include "bench_common.hpp"
 #include "sched/cluster.hpp"
 #include "support/json.hpp"
+#include "svc/profile_cache.hpp"
 
 using namespace dps;
 
@@ -31,8 +32,8 @@ int main(int argc, char** argv) {
 
   const auto classes = sched::Workload::defaultMix(nodes);
   const sched::ProfileSettings settings;
-  const auto profiles = sched::JobProfileTable::build(classes, nodes, settings,
-                                                      bench::effectiveJobs(args.opts));
+  const auto profiles =
+      svc::buildProfileTable(classes, nodes, settings, bench::effectiveJobs(args.opts));
   const auto ccfg = sched::ClusterConfig::fromProfile(settings.platform, nodes);
 
   struct PolicyAgg {
@@ -42,8 +43,9 @@ int main(int argc, char** argv) {
   };
   std::map<std::string, PolicyAgg> agg;
   std::ostringstream pointsJson;
+  JsonWriter points(pointsJson);
+  points.beginArray();
   double defaultFcfs = 0, defaultEquip = 0; // seed 1, rate 0.15 — the acceptance point
-  bool firstPoint = true;
 
   for (double rate : rates) {
     Table t("cluster of " + std::to_string(nodes) + " nodes, arrival rate " +
@@ -82,10 +84,12 @@ int main(int argc, char** argv) {
           if (name == "fcfs-rigid") defaultFcfs = m.meanSlowdown;
           if (name == "equipartition") defaultEquip = m.meanSlowdown;
         }
-        if (!firstPoint) pointsJson << ",";
-        firstPoint = false;
-        pointsJson << "{\"seed\":" << seed << ",\"rate\":" << jsonDouble(rate)
-                   << ",\"metrics\":" << m.jsonString() << "}";
+        points.beginObject()
+            .field("seed", seed)
+            .field("rate", rate)
+            .key("metrics")
+            .raw(m.jsonString())
+            .endObject();
       }
       t.row(cells);
     }
@@ -104,18 +108,25 @@ int main(int argc, char** argv) {
   bench::check(agg["equipartition"].wait.mean() < agg["fcfs-rigid"].wait.mean(),
                "malleable scheduling shortens mean job wait vs rigid FCFS");
 
-  std::ostringstream extra;
-  extra << "\"aggregate\":{";
-  bool first = true;
-  for (const auto& [name, a] : agg) {
-    if (!first) extra << ",";
-    first = false;
-    extra << "\"" << jsonEscape(name) << "\":{\"mean_slowdown\":" << jsonDouble(a.slowdown.mean())
-          << ",\"mean_utilization\":" << jsonDouble(a.utilization.mean())
-          << ",\"mean_wait_sec\":" << jsonDouble(a.wait.mean())
-          << ",\"reallocations\":" << a.reallocations
-          << ",\"growth_grants\":" << a.growthGrants << "}";
-  }
-  extra << "},\"points\":[" << pointsJson.str() << "]";
-  return bench::finish("cluster_policies", args.opts, nullptr, extra.str());
+  points.endArray();
+  DPS_CHECK(points.closed(), "unbalanced points JSON");
+
+  std::ostringstream aggJson;
+  JsonWriter aw(aggJson);
+  aw.beginObject();
+  for (const auto& [name, a] : agg)
+    aw.key(name)
+        .beginObject()
+        .field("mean_slowdown", a.slowdown.mean())
+        .field("mean_utilization", a.utilization.mean())
+        .field("mean_wait_sec", a.wait.mean())
+        .field("reallocations", a.reallocations)
+        .field("growth_grants", a.growthGrants)
+        .endObject();
+  aw.endObject();
+  DPS_CHECK(aw.closed(), "unbalanced aggregate JSON");
+
+  const std::string extra =
+      "\"aggregate\":" + aggJson.str() + ",\"points\":" + pointsJson.str();
+  return bench::finish("cluster_policies", args.opts, nullptr, extra);
 }

@@ -1,0 +1,215 @@
+// Profile-service load bench: thousands of mixed what-if and cluster
+// profile queries pushed through svc::RequestQueue + svc::ProfileCache, the
+// stack a cluster server answering allocation queries would run (paper §9).
+//
+// Two phases over one query universe:
+//   * cold   — every distinct query once; each is a full engine simulation
+//     (fanned over --jobs service threads, backpressure on overload);
+//   * steady — thousands of queries drawn from the same universe by a
+//     seeded generator; the cache serves them without touching the engine.
+//
+// Reported per phase: throughput plus p50/p99 submit-to-completion latency;
+// plus cache hit/miss/run counters and queue admission stats.  The [CHECK]
+// claims pin the service-layer contract: the steady phase runs zero new
+// simulations and sustains >= 10x the cold-phase throughput.
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "sched/engine_run.hpp"
+#include "support/rng.hpp"
+#include "svc/profile_cache.hpp"
+#include "svc/request_queue.hpp"
+
+using namespace dps;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The distinct queries the server answers: every (class, allocation)
+/// profile point of the default cluster mix, plus the cluster_server
+/// example's what-if sweep ("shrink to half after iteration q") over a few
+/// job shapes.
+std::vector<sched::EngineRunSpec> queryUniverse(bool smoke) {
+  const sched::ProfileSettings settings;
+  std::vector<sched::EngineRunSpec> universe;
+
+  const std::int32_t nodes = smoke ? 4 : 8;
+  for (const auto& klass : sched::Workload::defaultMix(nodes))
+    for (std::int32_t alloc : sched::feasibleAllocations(klass, nodes))
+      universe.push_back(sched::profileRunSpec(klass, alloc, settings));
+
+  std::vector<lu::LuConfig> shapes;
+  lu::LuConfig wi;
+  wi.n = 648;
+  wi.r = 162;
+  wi.workers = 4;
+  shapes.push_back(wi);
+  if (!smoke) {
+    wi.r = 81;
+    wi.workers = 8;
+    shapes.push_back(wi);
+  }
+  for (const auto& cfg : shapes)
+    for (std::int64_t q = 0; q < cfg.levels() - 1; ++q) {
+      sched::EngineRunSpec spec;
+      spec.app = sched::AppKind::Lu;
+      spec.lu = cfg;
+      spec.config = settings.simConfig();
+      spec.luModel = settings.luModel;
+      spec.jacobiModel = settings.jacobiModel;
+      spec.slicePhases = q == 0;
+      if (q >= 1) {
+        mall::RemovalStep step;
+        step.afterIteration = q;
+        for (std::int32_t t = cfg.workers / 2; t < cfg.workers; ++t) step.threads.push_back(t);
+        spec.plan = mall::AllocationPlan::killAfter({step});
+      }
+      universe.push_back(spec);
+    }
+  return universe;
+}
+
+struct PhaseResult {
+  std::size_t requests = 0;
+  double seconds = 0;
+  std::vector<double> latencySec; // submit-to-completion, request order
+  std::uint64_t rejections = 0;   // admissions retried after backpressure
+
+  double qps() const { return seconds > 0 ? static_cast<double>(requests) / seconds : 0; }
+  double percentileMs(double p) const {
+    if (latencySec.empty()) return 0;
+    auto sorted = latencySec;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        std::llround(p * static_cast<double>(sorted.size() - 1)));
+    return sorted[idx] * 1e3;
+  }
+};
+
+/// Pushes `specs[pick(i)]` for i in [0, count) through the queue, retrying
+/// rejected submits after the admission hint (counted as backpressure
+/// events, not as extra requests).
+template <typename Pick>
+PhaseResult runPhase(svc::RequestQueue& queue, const std::vector<sched::EngineRunSpec>& specs,
+                     std::size_t count, Pick pick) {
+  PhaseResult res;
+  res.requests = count;
+  res.latencySec.assign(count, 0);
+  const auto phaseStart = Clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto submitAt = Clock::now();
+    double* slot = &res.latencySec[i];
+    for (;;) {
+      const auto adm = queue.submit(specs[pick(i)], [slot, submitAt](
+                                                        const sched::EngineRunRecord&) {
+        *slot = secondsSince(submitAt);
+      });
+      if (adm.accepted()) break;
+      ++res.rejections;
+      std::this_thread::sleep_for(std::chrono::duration<double>(adm.retryAfterSec));
+    }
+  }
+  queue.drain();
+  res.seconds = secondsSince(phaseStart);
+  return res;
+}
+
+void phaseJson(JsonWriter& w, const PhaseResult& r) {
+  w.beginObject()
+      .field("requests", r.requests)
+      .field("seconds", r.seconds)
+      .field("qps", r.qps())
+      .field("p50_ms", r.percentileMs(0.50))
+      .field("p99_ms", r.percentileMs(0.99))
+      .field("rejections", r.rejections)
+      .endObject();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, /*withSmoke=*/true);
+  const auto universe = queryUniverse(args.smoke);
+  const std::size_t steadyCount = args.smoke ? 800 : 4000;
+
+  svc::ProfileCache cache;
+  svc::RequestQueue::Options qopts;
+  qopts.capacity = 64;
+  qopts.workers = bench::effectiveJobs(args.opts);
+  svc::RequestQueue queue(cache, qopts);
+
+  std::printf("query universe: %zu distinct specs, %u service threads, queue capacity %zu\n\n",
+              universe.size(), qopts.workers, qopts.capacity);
+
+  // Cold phase: every distinct query once — all engine simulations.
+  const auto cold =
+      runPhase(queue, universe, universe.size(), [](std::size_t i) { return i; });
+
+  // Steady phase: a seeded stream of repeat queries — all cache hits.
+  Rng rng(20060425);
+  const auto steady = runPhase(queue, universe, steadyCount, [&](std::size_t) {
+    return static_cast<std::size_t>(rng.below(universe.size()));
+  });
+
+  const auto cs = cache.stats();
+  Table t("profile service under load (" + std::to_string(qopts.workers) + " service threads)");
+  t.header({"phase", "requests", "time [s]", "qps", "p50 [ms]", "p99 [ms]", "rejections"});
+  t.row({"cold (distinct)", std::to_string(cold.requests), Table::num(cold.seconds, 2),
+         Table::num(cold.qps(), 1), Table::num(cold.percentileMs(0.50), 2),
+         Table::num(cold.percentileMs(0.99), 2), std::to_string(cold.rejections)});
+  t.row({"steady (repeat)", std::to_string(steady.requests), Table::num(steady.seconds, 2),
+         Table::num(steady.qps(), 1), Table::num(steady.percentileMs(0.50), 2),
+         Table::num(steady.percentileMs(0.99), 2), std::to_string(steady.rejections)});
+  t.print(std::cout);
+  std::printf("\ncache: %llu lookups, %llu engine runs, hit rate %.1f%%; queue served %llu, "
+              "rejected %llu\n\n",
+              static_cast<unsigned long long>(cs.lookups()),
+              static_cast<unsigned long long>(cs.engineRuns), cs.hitRate() * 100.0,
+              static_cast<unsigned long long>(queue.served()),
+              static_cast<unsigned long long>(queue.rejectedCount()));
+
+  bench::check(cs.engineRuns == universe.size(),
+               "steady phase executes zero new engine runs (all served from cache)");
+  bench::check(cs.hitRate() > 0, "cache hit rate is nonzero after the steady phase");
+  bench::check(steady.qps() >= 10.0 * cold.qps(),
+               "repeated-query throughput >= 10x cold-phase throughput");
+  bench::check(steady.percentileMs(0.99) >= steady.percentileMs(0.50) &&
+                   steady.percentileMs(0.50) > 0,
+               "latency percentiles are reported and ordered (p99 >= p50 > 0)");
+
+  std::ostringstream extra;
+  JsonWriter w(extra);
+  w.beginObject();
+  w.field("universe", universe.size()).field("service_threads", qopts.workers);
+  w.key("cold");
+  phaseJson(w, cold);
+  w.key("steady");
+  phaseJson(w, steady);
+  w.field("speedup", cold.qps() > 0 ? steady.qps() / cold.qps() : 0);
+  w.key("cache")
+      .beginObject()
+      .field("hits", cs.hits)
+      .field("joined", cs.joined)
+      .field("misses", cs.misses)
+      .field("engine_runs", cs.engineRuns)
+      .field("hit_rate", cs.hitRate())
+      .endObject();
+  w.key("queue")
+      .beginObject()
+      .field("served", queue.served())
+      .field("rejected", queue.rejectedCount())
+      .field("ewma_service_sec", queue.ewmaServiceSec())
+      .endObject();
+  w.endObject();
+  DPS_CHECK(w.closed(), "unbalanced server_load JSON");
+  return bench::finish("server_load", args.opts, nullptr, "\"load\":" + extra.str());
+}

@@ -10,10 +10,11 @@
 //
 // Per-iteration duration/efficiency profiles come from the DPS simulator.
 // What-if queries ("release half the nodes after iteration k") are served
-// by a shared simulation pool: every candidate shrink point is simulated
-// concurrently (--pool-jobs) and the admission policy then just looks its
-// answer up.  The job-level queueing itself runs on the same discrete-event
-// kernel.
+// through the svc::ProfileCache acquisition API on a shared simulation
+// pool: every candidate shrink point is simulated concurrently
+// (--pool-jobs), duplicate queries across a batch are cache hits, and the
+// admission policy then just looks its answer up.  The job-level queueing
+// itself runs on the same discrete-event kernel.
 //
 // Batch mode (--batch FILE) profiles a *heterogeneous* set of shrink
 // queries concurrently on the same shared pool — one line per job, one
@@ -28,28 +29,19 @@
 #include <sstream>
 #include <vector>
 
-#include "core/engine.hpp"
 #include "des/scheduler.hpp"
-#include "lu/app.hpp"
-#include "malleable/controller.hpp"
-#include "net/profile.hpp"
+#include "lu/builder.hpp"
+#include "sched/engine_run.hpp"
+#include "sched/profile.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
-#include "trace/efficiency.hpp"
+#include "svc/profile_cache.hpp"
 
 using namespace dps;
 
 namespace {
-
-core::SimConfig simConfig() {
-  core::SimConfig sc;
-  sc.profile = net::ultraSparc440();
-  sc.mode = core::ExecutionMode::Pdexec;
-  sc.allocatePayloads = false;
-  return sc;
-}
 
 /// Result of one what-if query: shrink to half the nodes after `iteration`.
 struct WhatIf {
@@ -61,17 +53,42 @@ struct WhatIf {
 /// All what-if answers for one job configuration.
 struct WhatIfSet {
   std::vector<WhatIf> answers; // [0] = static (never shrink)
-  std::vector<trace::EfficiencyPoint> staticEfficiency;
+  // Static run's per-iteration efficiency curve (marker value, efficiency).
+  std::vector<std::int64_t> staticMarker;
+  std::vector<double> staticEff;
 };
 
+/// The spec of one what-if query: a full engine run under "release
+/// workers/2 nodes after iteration q" (q = 0: the static run, sliced into
+/// the per-iteration efficiency curve the admission policy reads).
+sched::EngineRunSpec whatIfSpec(const lu::LuConfig& cfg, std::int64_t q,
+                                const sched::ProfileSettings& settings) {
+  sched::EngineRunSpec spec;
+  spec.app = sched::AppKind::Lu;
+  spec.lu = cfg;
+  spec.config = settings.simConfig();
+  spec.luModel = settings.luModel;
+  spec.jacobiModel = settings.jacobiModel;
+  spec.slicePhases = q == 0;
+  if (q >= 1) {
+    mall::RemovalStep step;
+    step.afterIteration = q;
+    for (std::int32_t t = cfg.workers / 2; t < cfg.workers; ++t) step.threads.push_back(t);
+    spec.plan = mall::AllocationPlan::killAfter({step});
+  }
+  return spec;
+}
+
 /// Simulates "release workers/2 nodes after iteration k" for every candidate
-/// k of every job on the shared pool.  The (job, candidate) pairs of the
-/// whole — possibly heterogeneous — batch are flattened into one index
-/// space, so small and large jobs interleave across the pool instead of
-/// serializing per job.  answers[0] of each set is the static run, whose
-/// per-iteration efficiency curve feeds the admission policy.
-std::vector<WhatIfSet> evaluateWhatIfs(ThreadPool& pool, const std::vector<lu::LuConfig>& cfgs) {
-  const auto model = lu::KernelCostModel::ultraSparc440();
+/// k of every job on the shared pool, each run acquired through the profile
+/// cache (duplicate queries in a batch simulate once).  The (job, candidate)
+/// pairs of the whole — possibly heterogeneous — batch are flattened into
+/// one index space, so small and large jobs interleave across the pool
+/// instead of serializing per job.  answers[0] of each set is the static
+/// run, whose per-iteration efficiency curve feeds the admission policy.
+std::vector<WhatIfSet> evaluateWhatIfs(ThreadPool& pool, const std::vector<lu::LuConfig>& cfgs,
+                                       svc::ProfileCache& cache) {
+  const sched::ProfileSettings settings;
   struct Pair {
     std::size_t job;
     std::size_t q;
@@ -87,29 +104,19 @@ std::vector<WhatIfSet> evaluateWhatIfs(ThreadPool& pool, const std::vector<lu::L
     const std::size_t q = pairs[i].q;
     WhatIf& ans = sets[pairs[i].job].answers[q];
     ans.iteration = static_cast<std::int64_t>(q); // 0 = static
-    core::SimEngine engine(simConfig());
-    lu::LuBuild build = lu::buildLu(cfg, model, false);
-    std::unique_ptr<mall::LuMalleabilityController> controller;
-    if (ans.iteration >= 1) {
-      mall::RemovalStep step;
-      step.afterIteration = ans.iteration;
-      for (std::int32_t t = cfg.workers / 2; t < cfg.workers; ++t) step.threads.push_back(t);
-      controller = std::make_unique<mall::LuMalleabilityController>(
-          engine, build, mall::AllocationPlan::killAfter({step}));
-    }
-    const auto run = lu::runLu(engine, build);
-    ans.duration = toSeconds(run.makespan);
+    const auto rec = svc::acquireRun(whatIfSpec(cfg, ans.iteration, settings), cache);
+    ans.duration = rec.totalSec;
     ans.shrinkAt = ans.duration; // fallback: nodes free at completion
     if (ans.iteration >= 1) {
-      for (const auto& a : run.trace->allocations()) {
-        if (a.allocatedNodes <= cfg.workers / 2) {
-          ans.shrinkAt = toSeconds(a.time.time_since_epoch());
+      for (const auto& a : rec.allocEvents) {
+        if (a.nodes <= cfg.workers / 2) {
+          ans.shrinkAt = a.timeSec;
           break;
         }
       }
     } else {
-      sets[pairs[i].job].staticEfficiency = trace::dynamicEfficiency(
-          *run.trace, "iteration", simEpoch(), simEpoch() + run.makespan);
+      sets[pairs[i].job].staticMarker = rec.phaseMarker;
+      sets[pairs[i].job].staticEff = rec.phaseEff;
     }
   });
   return sets;
@@ -123,18 +130,17 @@ struct JobProfile {
 };
 
 /// Picks the efficiency-driven shrink point from the precomputed what-ifs.
-JobProfile profileJob(const std::vector<WhatIf>& answers,
-                      const std::vector<trace::EfficiencyPoint>& staticEfficiency,
-                      const lu::LuConfig& cfg, double efficiencyThreshold) {
+JobProfile profileJob(const WhatIfSet& set, const lu::LuConfig& cfg,
+                      double efficiencyThreshold) {
   JobProfile profile;
-  profile.staticDuration = answers[0].duration;
+  profile.staticDuration = set.answers[0].duration;
 
   // Find the first iteration whose dynamic efficiency drops below the
   // threshold — the earliest point where holding all nodes is wasteful.
   profile.shrinkIteration = 0;
-  for (const auto& p : staticEfficiency) {
-    if (p.efficiency < efficiencyThreshold && p.markerValue + 1 < cfg.levels()) {
-      profile.shrinkIteration = p.markerValue;
+  for (std::size_t i = 0; i < set.staticEff.size(); ++i) {
+    if (set.staticEff[i] < efficiencyThreshold && set.staticMarker[i] + 1 < cfg.levels()) {
+      profile.shrinkIteration = set.staticMarker[i];
       break;
     }
   }
@@ -143,7 +149,7 @@ JobProfile profileJob(const std::vector<WhatIf>& answers,
     profile.shrinkAt = profile.staticDuration;
     return profile;
   }
-  const auto& ans = answers[static_cast<std::size_t>(profile.shrinkIteration)];
+  const auto& ans = set.answers[static_cast<std::size_t>(profile.shrinkIteration)];
   profile.malleableDuration = ans.duration;
   profile.shrinkAt = ans.shrinkAt;
   return profile;
@@ -276,7 +282,7 @@ JobProfile reportJob(const std::string& title, const WhatIfSet& set, const lu::L
   }
   w.print(std::cout);
 
-  const JobProfile profile = profileJob(set.answers, set.staticEfficiency, cfg, threshold);
+  const JobProfile profile = profileJob(set, cfg, threshold);
   std::printf("  static runtime    : %.1fs\n", profile.staticDuration);
   if (profile.shrinkIteration >= 1) {
     std::printf("  efficiency < %.0f%% after iteration %lld -> release %d nodes at t=%.1fs\n",
@@ -319,6 +325,7 @@ int main(int argc, char** argv) {
   // `effectiveJobs` concurrent simulations (a worker-less pool runs inline).
   const unsigned effectiveJobs = poolJobs == 0 ? ThreadPool::hardwareJobs() : poolJobs;
   ThreadPool pool(effectiveJobs - 1);
+  svc::ProfileCache cache;
 
   if (!batchPath.empty()) {
     // Batch what-if mode: profile every query of the file concurrently on
@@ -333,7 +340,7 @@ int main(int argc, char** argv) {
     std::printf("batch what-if pool: %zu jobs, %zu candidate shrink points, %u concurrent "
                 "simulations\n\n",
                 queries.size(), candidates, effectiveJobs);
-    const auto sets = evaluateWhatIfs(pool, cfgs);
+    const auto sets = evaluateWhatIfs(pool, cfgs, cache);
     for (std::size_t j = 0; j < queries.size(); ++j) {
       const lu::LuConfig& cfg = cfgs[j];
       reportJob("job " + std::to_string(j) + ": " + std::to_string(cfg.n) + "x" +
@@ -341,6 +348,10 @@ int main(int argc, char** argv) {
                     std::to_string(cfg.workers) + " nodes",
                 sets[j], cfg, queries[j].threshold);
     }
+    const auto cs = cache.stats();
+    std::printf("what-if cache: %llu queries, %llu simulations (%.0f%% served from cache)\n",
+                static_cast<unsigned long long>(cs.lookups()),
+                static_cast<unsigned long long>(cs.engineRuns), cs.hitRate() * 100.0);
     return 0;
   }
 
@@ -353,7 +364,7 @@ int main(int argc, char** argv) {
               cfg.levels() - 1);
   std::printf("(%dx%d, r=%d, %d nodes; %u concurrent simulations)\n", cfg.n, cfg.n, cfg.r,
               jobNodes, effectiveJobs);
-  const auto sets = evaluateWhatIfs(pool, {cfg});
+  const auto sets = evaluateWhatIfs(pool, {cfg}, cache);
   const JobProfile profile = reportJob({}, sets[0], cfg, threshold);
 
   const auto staticRes = serve(nodes, jobCount, jobNodes, profile, false);

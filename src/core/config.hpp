@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "net/profile.hpp"
+#include "support/fingerprint.hpp"
 #include "support/time.hpp"
 
 namespace dps::core {
@@ -70,5 +71,33 @@ struct SimConfig {
 
   std::uint64_t seed = 42;
 };
+
+/// Hashes every semantic field into `fp` (cache-key identity).
+inline void fingerprintInto(Fingerprint& fp, const FidelityConfig& f) {
+  fp.add(f.enabled)
+      .add(f.seed)
+      .add(f.computeJitter)
+      .add(f.perNodeSpeedSigma)
+      .add(f.perRunSpeedSigma)
+      .add(f.perMessageOverhead)
+      .add(f.perMessageJitter)
+      .add(static_cast<std::uint64_t>(f.chunkBytes))
+      .add(f.perChunkOverhead)
+      .add(f.bandwidthEfficiency);
+}
+
+/// Hashes every semantic field into `fp` (cache-key identity).  Two configs
+/// with equal fingerprints produce bit-identical simulations of the same
+/// program (recordTrace included: it changes what a run *returns*).
+inline void fingerprintInto(Fingerprint& fp, const SimConfig& c) {
+  net::fingerprintInto(fp, c.profile);
+  fp.add(static_cast<std::int32_t>(c.mode))
+      .add(c.allocatePayloads)
+      .add(c.cpuSharing)
+      .add(c.commCpuOverhead)
+      .add(c.networkContention);
+  fingerprintInto(fp, c.fidelity);
+  fp.add(c.recordTrace).add(c.seed);
+}
 
 } // namespace dps::core

@@ -9,18 +9,13 @@
 #include "core/engine.hpp"
 #include "experiments/campaign.hpp"
 #include "lu/app.hpp"
+#include "sched/engine_run.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
 #include "support/thread_pool.hpp"
+#include "svc/profile_cache.hpp"
 
 namespace dps::exp {
-
-namespace {
-
-/// Round-trippable double formatting (same format the campaign emitters use).
-std::string fmtDouble(double v) { return jsonDouble(v); }
-
-} // namespace
 
 // ---------------------------------------------------------------------------
 // Candidate + ParamSpace
@@ -242,7 +237,22 @@ double ScenarioObjective::measureReferenceSec(const ValidationScenario& s) const
   cfg.fidelity = reference_.fidelity;
   cfg.fidelity.enabled = true;
   cfg.fidelity.seed = s.fidelitySeed;
-  return runScenarioSec(cfg, reference_.model, jacobiModel_, s);
+  // Reference runs are pure functions of (scenario, settings): acquire them
+  // through the profile service so repeated objectives (re-runs, warm
+  // starts, tests) reuse earlier simulations.  Prediction legs stay direct
+  // — every candidate is new, so caching them would only grow the map.
+  sched::EngineRunSpec spec;
+  spec.app =
+      s.app == ValidationScenario::App::Lu ? sched::AppKind::Lu : sched::AppKind::Jacobi;
+  spec.lu = s.lu;
+  spec.jacobi = s.jacobi;
+  spec.plan = s.plan;
+  spec.policy = s.policy;
+  spec.slicePhases = false;
+  spec.config = cfg;
+  spec.luModel = reference_.model;
+  spec.jacobiModel = jacobiModel_;
+  return svc::acquireRun(spec).totalSec;
 }
 
 double ScenarioObjective::predictSec(const Candidate& c, const ValidationScenario& s) const {
@@ -497,77 +507,81 @@ AutocalResult runCalibrationSearch(const Objective& objective, const ParamSpace&
 
 namespace {
 
-void writeParams(std::ostream& os, const ParamSpace& space, const std::vector<double>& x) {
-  os << "{";
-  for (std::size_t i = 0; i < space.dims().size(); ++i) {
-    if (i) os << ",";
-    os << "\"" << paramName(space.dims()[i].key) << "\":" << fmtDouble(x[i]);
-  }
-  os << "}";
+void writeParams(JsonWriter& w, const ParamSpace& space, const std::vector<double>& x) {
+  w.beginObject();
+  for (std::size_t i = 0; i < space.dims().size(); ++i)
+    w.field(paramName(space.dims()[i].key), x[i]);
+  w.endObject();
 }
 
-void writeProfile(std::ostream& os, const Candidate& c) {
-  os << "{\"latency_sec\":" << fmtDouble(toSeconds(c.profile.latency))
-     << ",\"bandwidth_bytes_per_sec\":" << fmtDouble(c.profile.bandwidthBytesPerSec)
-     << ",\"per_step_overhead_sec\":" << fmtDouble(toSeconds(c.profile.perStepOverhead))
-     << ",\"local_delivery_sec\":" << fmtDouble(toSeconds(c.profile.localDelivery))
-     << ",\"cpu_per_outgoing_transfer\":" << fmtDouble(c.profile.cpuPerOutgoingTransfer)
-     << ",\"cpu_per_incoming_transfer\":" << fmtDouble(c.profile.cpuPerIncomingTransfer)
-     << ",\"compute_scale\":" << fmtDouble(c.profile.computeScale)
-     << ",\"kernel_scale\":" << fmtDouble(c.kernelScale) << "}";
+void writeProfile(JsonWriter& w, const Candidate& c) {
+  w.beginObject()
+      .field("latency_sec", toSeconds(c.profile.latency))
+      .field("bandwidth_bytes_per_sec", c.profile.bandwidthBytesPerSec)
+      .field("per_step_overhead_sec", toSeconds(c.profile.perStepOverhead))
+      .field("local_delivery_sec", toSeconds(c.profile.localDelivery))
+      .field("cpu_per_outgoing_transfer", c.profile.cpuPerOutgoingTransfer)
+      .field("cpu_per_incoming_transfer", c.profile.cpuPerIncomingTransfer)
+      .field("compute_scale", c.profile.computeScale)
+      .field("kernel_scale", c.kernelScale)
+      .endObject();
 }
 
-void writeEval(std::ostream& os, const EvalRecord& rec, const ParamSpace& space) {
-  os << "{\"index\":" << rec.index << ",\"strategy\":\"" << jsonEscape(rec.strategy)
-     << "\",\"score\":" << fmtDouble(rec.score) << ",\"params\":";
-  writeParams(os, space, rec.x);
-  os << "}";
+void writeEval(JsonWriter& w, const EvalRecord& rec, const ParamSpace& space) {
+  w.beginObject()
+      .field("index", rec.index)
+      .field("strategy", rec.strategy)
+      .field("score", rec.score);
+  w.key("params");
+  writeParams(w, space, rec.x);
+  w.endObject();
 }
 
 } // namespace
 
 void writeReportJson(std::ostream& os, const AutocalResult& result, const Objective& objective,
                      const ParamSpace& space, const Candidate& base) {
-  os << "{\"jobs\":" << result.jobs
-     << ",\"evaluations\":" << result.history.records.size() << ",\"scenarios\":[";
-  for (std::size_t i = 0; i < objective.scenarioCount(); ++i) {
-    if (i) os << ",";
-    os << "\"" << jsonEscape(objective.scenarioLabel(i)) << "\"";
-  }
-  os << "],\"warm_start\":";
+  JsonWriter w(os);
+  w.beginObject()
+      .field("jobs", result.jobs)
+      .field("evaluations", result.history.records.size());
+  w.key("scenarios").beginArray();
+  for (std::size_t i = 0; i < objective.scenarioCount(); ++i)
+    w.value(objective.scenarioLabel(i));
+  w.endArray();
+  w.key("warm_start");
   if (result.hasWarmStart) {
-    writeEval(os, result.warmStart(), space);
+    writeEval(w, result.warmStart(), space);
   } else {
-    os << "null";
+    w.null();
   }
 
   const EvalRecord& best = result.best();
-  os << ",\"best\":{\"index\":" << best.index << ",\"strategy\":\""
-     << jsonEscape(best.strategy) << "\",\"score\":" << fmtDouble(best.score)
-     << ",\"params\":";
-  writeParams(os, space, best.x);
-  os << ",\"profile\":";
-  writeProfile(os, space.apply(base, best.x));
-  os << ",\"per_scenario\":[";
+  w.key("best")
+      .beginObject()
+      .field("index", best.index)
+      .field("strategy", best.strategy)
+      .field("score", best.score);
+  w.key("params");
+  writeParams(w, space, best.x);
+  w.key("profile");
+  writeProfile(w, space.apply(base, best.x));
+  w.key("per_scenario").beginArray();
   for (std::size_t i = 0; i < best.errors.size(); ++i) {
-    if (i) os << ",";
-    os << "{\"label\":\"" << jsonEscape(objective.scenarioLabel(i))
-       << "\",\"error\":" << fmtDouble(best.errors[i]) << "}";
+    w.beginObject()
+        .field("label", objective.scenarioLabel(i))
+        .field("error", best.errors[i])
+        .endObject();
   }
-  os << "]}";
+  w.endArray().endObject();
 
-  os << ",\"ranking\":[";
-  const auto order = result.ranking();
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    if (i) os << ",";
-    os << order[i];
-  }
-  os << "],\"trace\":[";
-  for (std::size_t i = 0; i < result.history.records.size(); ++i) {
-    if (i) os << ",";
-    writeEval(os, result.history.records[i], space);
-  }
-  os << "]}";
+  w.key("ranking").beginArray();
+  for (std::size_t idx : result.ranking()) w.value(idx);
+  w.endArray();
+  w.key("trace").beginArray();
+  for (const EvalRecord& rec : result.history.records) writeEval(w, rec, space);
+  w.endArray().endObject();
+  DPS_CHECK(w.closed(), "unbalanced autocal report JSON");
 }
 
 } // namespace dps::exp

@@ -20,10 +20,14 @@ std::vector<T> orDefault(const std::vector<T>& dim, T fallback) {
 /// Round-trippable double formatting for the JSON/CSV emitters.
 std::string fmtDouble(double v) { return dps::jsonDouble(v); }
 
-void writeStats(std::ostream& os, const OnlineStats& s) {
-  os << "{\"count\":" << s.count() << ",\"mean\":" << fmtDouble(s.mean())
-     << ",\"stddev\":" << fmtDouble(s.stddev()) << ",\"min\":" << fmtDouble(s.min())
-     << ",\"max\":" << fmtDouble(s.max()) << "}";
+void writeStats(JsonWriter& w, const OnlineStats& s) {
+  w.beginObject()
+      .field("count", s.count())
+      .field("mean", s.mean())
+      .field("stddev", s.stddev())
+      .field("min", s.min())
+      .field("max", s.max())
+      .endObject();
 }
 
 } // namespace
@@ -89,28 +93,36 @@ std::vector<double> CampaignResult::errors() const {
 }
 
 void CampaignResult::writeJson(std::ostream& os) const {
-  os << "{\"jobs\":" << jobs << ",\"observations\":[";
+  JsonWriter w(os);
+  w.beginObject().field("jobs", jobs);
+  w.key("observations").beginArray();
   for (std::size_t i = 0; i < observations.size(); ++i) {
     const auto& obs = observations[i];
     const auto& p = points[i];
-    if (i) os << ",";
-    os << "{\"label\":\"" << jsonEscape(obs.label) << "\""
-       << ",\"n\":" << p.cfg.n << ",\"r\":" << p.cfg.r << ",\"workers\":" << p.cfg.workers
-       << ",\"variant\":\"" << jsonEscape(p.cfg.variantName()) << "\""
-       << ",\"plan\":\"" << jsonEscape(p.plan.describe()) << "\""
-       << ",\"fidelity_seed\":" << p.fidelitySeed
-       << ",\"measured_sec\":" << fmtDouble(obs.measuredSec)
-       << ",\"predicted_sec\":" << fmtDouble(obs.predictedSec)
-       << ",\"error\":" << fmtDouble(obs.error()) << "}";
+    w.beginObject()
+        .field("label", obs.label)
+        .field("n", p.cfg.n)
+        .field("r", p.cfg.r)
+        .field("workers", p.cfg.workers)
+        .field("variant", p.cfg.variantName())
+        .field("plan", p.plan.describe())
+        .field("fidelity_seed", p.fidelitySeed)
+        .field("measured_sec", obs.measuredSec)
+        .field("predicted_sec", obs.predictedSec)
+        .field("error", obs.error())
+        .endObject();
   }
-  os << "],\"aggregate\":{\"measured_sec\":";
+  w.endArray();
   const auto agg = aggregate();
-  writeStats(os, agg.measuredSec);
-  os << ",\"predicted_sec\":";
-  writeStats(os, agg.predictedSec);
-  os << ",\"error\":";
-  writeStats(os, agg.error);
-  os << "}}";
+  w.key("aggregate").beginObject();
+  w.key("measured_sec");
+  writeStats(w, agg.measuredSec);
+  w.key("predicted_sec");
+  writeStats(w, agg.predictedSec);
+  w.key("error");
+  writeStats(w, agg.error);
+  w.endObject().endObject();
+  DPS_CHECK(w.closed(), "unbalanced campaign JSON");
 }
 
 std::string CampaignResult::jsonString() const {

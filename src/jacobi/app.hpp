@@ -22,6 +22,7 @@
 #include "core/engine.hpp"
 #include "flow/graph.hpp"
 #include "linalg/matrix.hpp"
+#include "support/fingerprint.hpp"
 #include "support/time.hpp"
 
 namespace dps::jacobi {
@@ -51,6 +52,11 @@ struct JacobiCostModel {
     return seconds(static_cast<double>(cols) * sizeof(double) / copyBytesPerSec);
   }
 };
+
+/// Hashes every semantic field into `fp` (cache-key identity).
+inline void fingerprintInto(Fingerprint& fp, const JacobiCostModel& m) {
+  fp.add(m.cellsPerSec).add(m.copyBytesPerSec).add(m.perKernelOverhead);
+}
 
 /// Worker state: double-buffered strip + received halo rows.
 struct JacobiState final : flow::ThreadState {

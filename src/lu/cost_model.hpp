@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "support/fingerprint.hpp"
 #include "support/time.hpp"
 
 namespace dps::lu {
@@ -42,5 +43,15 @@ struct KernelCostModel {
   /// fits the throughput parameters; `probeSize` controls probe dimensions.
   static KernelCostModel calibrateHost(std::int32_t probeSize = 192);
 };
+
+/// Hashes every semantic field into `fp` (cache-key identity).
+inline void fingerprintInto(Fingerprint& fp, const KernelCostModel& m) {
+  fp.add(m.gemmFlopsPerSec)
+      .add(m.trsmFlopsPerSec)
+      .add(m.panelFlopsPerSec)
+      .add(m.copyBytesPerSec)
+      .add(m.swapBytesPerSec)
+      .add(m.perKernelOverhead);
+}
 
 } // namespace dps::lu

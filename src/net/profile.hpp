@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "support/fingerprint.hpp"
 #include "support/time.hpp"
 
 namespace dps::net {
@@ -50,5 +51,17 @@ PlatformProfile pentium4_2800();
 /// A modern-commodity profile (gigabit network, fast CPU) used by examples
 /// and what-if studies.
 PlatformProfile commodityGigabit();
+
+/// Hashes every semantic field into `fp` (cache-key identity).
+inline void fingerprintInto(Fingerprint& fp, const PlatformProfile& p) {
+  fp.add(p.name)
+      .add(p.latency)
+      .add(p.bandwidthBytesPerSec)
+      .add(p.cpuPerOutgoingTransfer)
+      .add(p.cpuPerIncomingTransfer)
+      .add(p.computeScale)
+      .add(p.perStepOverhead)
+      .add(p.localDelivery);
+}
 
 } // namespace dps::net

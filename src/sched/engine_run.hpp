@@ -1,0 +1,115 @@
+// The one engine-run primitive behind every profile consumer.
+//
+// Profile builds, replay validation, autocal reference runs and the cluster
+// server's what-if queries all used to construct their own SimEngine +
+// build + controller; svc::ProfileCache needs those paths to produce
+// *identical* work units so results can be memoized across them.  This
+// module is that unit: an EngineRunSpec is a complete, self-contained
+// description of one single-threaded simulation (application config,
+// allocation plan, engine configuration, kernel cost models), and
+// executeEngineRun() is the only function that turns one into a result.
+//
+// A spec has two-part cache identity:
+//   * engineFingerprint() — stable hash over the SimConfig and both kernel
+//     cost models (the fields sched::ProfileSettings::fingerprint() hashes,
+//     so settings-level and spec-level fingerprints coincide);
+//   * cacheSpec() — a canonical string for everything else (app config,
+//     plan, policy, start allocation, phase slicing).  Kept as a string so
+//     key equality is exact rather than hash-collision-probable.
+//
+// Callers that want memoization inject an EngineRunFn (svc:: provides one
+// backed by its ProfileCache); passing none means "execute directly".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "malleable/controller.hpp"
+#include "malleable/plan.hpp"
+#include "sched/profile.hpp"
+#include "sched/workload.hpp"
+
+namespace dps::sched {
+
+/// Complete description of one single-threaded engine run.
+struct EngineRunSpec {
+  AppKind app = AppKind::Lu;
+  lu::LuConfig lu{};
+  jacobi::JacobiConfig jacobi{};
+
+  /// Allocation plan executed by the malleability controller; empty = a
+  /// plain static run.  LU only — Jacobi has no controller.
+  mall::AllocationPlan plan{};
+  mall::RemovalPolicy policy = mall::RemovalPolicy::MigrateColumns;
+  /// Workers active at t=0; 0 = the config's worker count.  When below it
+  /// (a replayed job admitted under its maximum) column ownership is
+  /// re-spread over the first startAlloc workers before the run, so the
+  /// plan's iteration-0 removal deactivates the surplus without migration.
+  std::int32_t startAlloc = 0;
+
+  /// Slice the trace at the app's progress markers into phases (requires
+  /// config.recordTrace).
+  bool slicePhases = true;
+
+  core::SimConfig config{};
+  lu::KernelCostModel luModel{};
+  jacobi::JacobiCostModel jacobiModel{};
+
+  /// Stable hash over config + both cost models; equals
+  /// ProfileSettings::fingerprint() when config == settings.simConfig().
+  std::uint64_t engineFingerprint() const;
+  /// Canonical string for the app/plan/slicing half of the cache identity.
+  std::string cacheSpec() const;
+  /// Both halves combined (convenience for tests and logs).
+  std::uint64_t fingerprint() const;
+};
+
+/// One allocation-history event of a run (trace::AllocationRecord in
+/// seconds), exposed so what-if consumers can locate shrink instants.
+struct AllocEvent {
+  double timeSec = 0;
+  std::int32_t nodes = 0;
+};
+
+/// Everything any current consumer reads out of a run.
+struct EngineRunRecord {
+  double totalSec = 0; // simulated makespan
+
+  // Phase slices (filled when spec.slicePhases).
+  std::vector<double> phaseSec;
+  std::vector<double> phaseEff;
+  std::vector<std::int64_t> phaseMarker; // marker value ending each phase
+
+  /// Controller's total migrated bytes (0 for plan-free runs).
+  double migratedBytes = 0;
+  /// Allocation-change events (empty without trace recording).
+  std::vector<AllocEvent> allocEvents;
+};
+
+/// Executes the spec on a fresh engine.  Pure function of the spec:
+/// bit-identical on every call, safe to run concurrently from pool workers.
+EngineRunRecord executeEngineRun(const EngineRunSpec& spec);
+
+/// Injection point for memoization: callers hand profile/replay code a
+/// runner (svc::cachedRunner) and identical specs simulate only once.
+using EngineRunFn = std::function<EngineRunRecord(const EngineRunSpec&)>;
+
+/// The spec a profile build runs for (class, allocation): a static PDEXEC
+/// NOALLOC run sliced at the app's markers.  Replay and svc construct their
+/// static runs through this same function, which is what lets them share
+/// cache entries with profile builds.
+EngineRunSpec profileRunSpec(const JobClass& klass, std::int32_t nodes,
+                             const ProfileSettings& settings);
+
+/// Converts a sliced run record into the profile-table phase form.
+PhaseProfile phaseProfileFromRecord(const EngineRunRecord& rec, std::int32_t nodes);
+
+/// The per-class profile skeleton (name, app, feasible allocations, state
+/// model) with byAlloc sized but unfilled — shared by JobProfileTable and
+/// the svc acquisition path.
+ClassProfile classProfileSkeleton(const JobClass& klass, std::int32_t clusterNodes);
+
+} // namespace dps::sched

@@ -48,34 +48,42 @@ void ClusterMetrics::finalize() {
 }
 
 void ClusterMetrics::writeJson(std::ostream& os) const {
-  os << "{\"policy\":\"" << jsonEscape(policy) << "\",\"nodes\":" << nodes << ",\"seed\":" << seed
-     << ",\"makespan_sec\":" << fmt(makespanSec) << ",\"utilization\":" << fmt(utilization)
-     << ",\"mean_slowdown\":" << fmt(meanSlowdown) << ",\"max_slowdown\":" << fmt(maxSlowdown)
-     << ",\"mean_wait_sec\":" << fmt(meanWaitSec) << ",\"migrated_bytes\":" << fmt(migratedBytes)
-     << ",\"reallocations\":" << reallocations;
-  os << ",\"jobs\":[";
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const JobOutcome& j = jobs[i];
-    if (i) os << ",";
-    os << "{\"id\":" << j.id << ",\"class\":\"" << jsonEscape(j.klass) << "\""
-       << ",\"arrival_sec\":" << fmt(j.arrivalSec) << ",\"start_sec\":" << fmt(j.startSec)
-       << ",\"finish_sec\":" << fmt(j.finishSec) << ",\"best_sec\":" << fmt(j.bestSec)
-       << ",\"wait_sec\":" << fmt(j.waitSec()) << ",\"slowdown\":" << fmt(j.slowdown())
-       << ",\"reallocations\":" << j.reallocations
-       << ",\"migrated_bytes\":" << fmt(j.migratedBytes)
-       << ",\"backfilled\":" << (j.backfilled ? "true" : "false") << ",\"allocs\":[";
-    for (std::size_t a = 0; a < j.allocs.size(); ++a) {
-      if (a) os << ",";
-      os << j.allocs[a];
-    }
-    os << "]}";
+  JsonWriter w(os);
+  w.beginObject()
+      .field("policy", policy)
+      .field("nodes", nodes)
+      .field("seed", seed)
+      .field("makespan_sec", makespanSec)
+      .field("utilization", utilization)
+      .field("mean_slowdown", meanSlowdown)
+      .field("max_slowdown", maxSlowdown)
+      .field("mean_wait_sec", meanWaitSec)
+      .field("migrated_bytes", migratedBytes)
+      .field("reallocations", reallocations);
+  w.key("jobs").beginArray();
+  for (const JobOutcome& j : jobs) {
+    w.beginObject()
+        .field("id", j.id)
+        .field("class", j.klass)
+        .field("arrival_sec", j.arrivalSec)
+        .field("start_sec", j.startSec)
+        .field("finish_sec", j.finishSec)
+        .field("best_sec", j.bestSec)
+        .field("wait_sec", j.waitSec())
+        .field("slowdown", j.slowdown())
+        .field("reallocations", j.reallocations)
+        .field("migrated_bytes", j.migratedBytes)
+        .field("backfilled", j.backfilled);
+    w.key("allocs").beginArray();
+    for (std::int32_t a : j.allocs) w.value(a);
+    w.endArray().endObject();
   }
-  os << "],\"timeline\":[";
-  for (std::size_t i = 0; i < timeline.size(); ++i) {
-    if (i) os << ",";
-    os << "{\"t\":" << fmt(timeline[i].timeSec) << ",\"used\":" << timeline[i].usedNodes << "}";
-  }
-  os << "]}";
+  w.endArray();
+  w.key("timeline").beginArray();
+  for (const auto& t : timeline)
+    w.beginObject().field("t", t.timeSec).field("used", t.usedNodes).endObject();
+  w.endArray().endObject();
+  DPS_CHECK(w.closed(), "unbalanced cluster-metrics JSON");
 }
 
 std::string ClusterMetrics::jsonString() const {

@@ -3,14 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/engine.hpp"
-#include "jacobi/app.hpp"
-#include "lu/app.hpp"
+#include "sched/engine_run.hpp"
 #include "support/error.hpp"
+#include "support/fingerprint.hpp"
 #include "support/thread_pool.hpp"
-#include "trace/efficiency.hpp"
 
 namespace dps::sched {
+
+std::uint64_t ProfileSettings::fingerprint() const {
+  // Identical byte sequence to EngineRunSpec::engineFingerprint() for a
+  // spec built from these settings: the two values coincide by design.
+  Fingerprint fp;
+  core::fingerprintInto(fp, simConfig());
+  lu::fingerprintInto(fp, luModel);
+  jacobi::fingerprintInto(fp, jacobiModel);
+  return fp.value();
+}
 
 std::int32_t ClassProfile::phases() const {
   DPS_CHECK(!byAlloc.empty(), "empty class profile");
@@ -74,48 +82,10 @@ double ClassProfile::migrationBytes(std::int32_t phase, std::int32_t from, std::
   return colBytes * moved;
 }
 
-namespace {
-
-/// Runs one (class, allocation) simulation and slices the trace at the
-/// app's progress markers.
-PhaseProfile profileOne(const JobClass& klass, std::int32_t nodes,
-                        const ProfileSettings& settings) {
-  core::SimEngine engine(settings.simConfig());
-  core::RunResult run;
-  const char* markerName = nullptr;
-  if (klass.app == AppKind::Lu) {
-    const lu::LuConfig cfg = klass.luAt(nodes);
-    cfg.validate();
-    lu::LuBuild build = lu::buildLu(cfg, settings.luModel, false);
-    run = lu::runLu(engine, build);
-    markerName = "iteration";
-  } else {
-    const jacobi::JacobiConfig cfg = klass.jacobiAt(nodes);
-    cfg.validate();
-    jacobi::JacobiBuild build = jacobi::buildJacobi(cfg, settings.jacobiModel, false);
-    run = jacobi::runJacobi(engine, build);
-    markerName = "sweep";
-  }
-  DPS_CHECK(run.trace != nullptr, "profile runs require trace recording");
-
-  PhaseProfile p;
-  p.nodes = nodes;
-  p.totalSec = toSeconds(run.makespan);
-  const auto segments = trace::dynamicEfficiency(*run.trace, markerName, simEpoch(),
-                                                 simEpoch() + run.makespan);
-  DPS_CHECK(!segments.empty(), "profile run produced no phases");
-  for (const auto& seg : segments) {
-    p.phaseSec.push_back(toSeconds(seg.end - seg.start));
-    p.phaseEff.push_back(seg.efficiency);
-  }
-  return p;
-}
-
-} // namespace
-
-JobProfileTable JobProfileTable::build(const std::vector<JobClass>& classes,
-                                       std::int32_t clusterNodes,
-                                       const ProfileSettings& settings, unsigned jobs) {
+JobProfileTable JobProfileTable::build(
+    const std::vector<JobClass>& classes, std::int32_t clusterNodes,
+    const ProfileSettings& settings, unsigned jobs,
+    const std::function<EngineRunRecord(const EngineRunSpec&)>& runner) {
   DPS_CHECK(!classes.empty(), "profile table needs at least one job class");
   JobProfileTable table;
   struct Slot {
@@ -124,19 +94,7 @@ JobProfileTable JobProfileTable::build(const std::vector<JobClass>& classes,
   };
   std::vector<Slot> slots;
   for (std::size_t c = 0; c < classes.size(); ++c) {
-    ClassProfile cp;
-    cp.name = classes[c].name;
-    cp.app = classes[c].app;
-    cp.allocs = feasibleAllocations(classes[c], clusterNodes);
-    if (classes[c].app == AppKind::Lu) {
-      cp.stateBytes = static_cast<double>(classes[c].lu.n) * classes[c].lu.n * sizeof(double);
-      cp.stateShrinks = true;
-    } else {
-      cp.stateBytes =
-          static_cast<double>(classes[c].jacobi.rows) * classes[c].jacobi.cols * sizeof(double);
-      cp.stateShrinks = false;
-    }
-    cp.byAlloc.resize(cp.allocs.size());
+    ClassProfile cp = classProfileSkeleton(classes[c], clusterNodes);
     for (std::int32_t a : cp.allocs) slots.push_back(Slot{c, a});
     table.classes_.push_back(std::move(cp));
   }
@@ -147,7 +105,10 @@ JobProfileTable JobProfileTable::build(const std::vector<JobClass>& classes,
     ClassProfile& cp = table.classes_[slots[i].klass];
     const std::size_t ai = static_cast<std::size_t>(
         std::find(cp.allocs.begin(), cp.allocs.end(), slots[i].nodes) - cp.allocs.begin());
-    cp.byAlloc[ai] = profileOne(classes[slots[i].klass], slots[i].nodes, settings);
+    const EngineRunSpec spec =
+        profileRunSpec(classes[slots[i].klass], slots[i].nodes, settings);
+    cp.byAlloc[ai] =
+        phaseProfileFromRecord(runner ? runner(spec) : executeEngineRun(spec), slots[i].nodes);
   });
 
   for (const ClassProfile& cp : table.classes_) {

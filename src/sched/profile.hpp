@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/config.hpp"
@@ -43,6 +44,12 @@ struct ProfileSettings {
     sc.allocatePayloads = false;
     return sc;
   }
+
+  /// Stable structural hash over the full engine configuration these
+  /// settings induce (platform, mode knobs, fidelity, both kernel cost
+  /// models).  Any field change changes the value, so two divergent
+  /// settings can never alias one svc::ProfileCache entry.
+  std::uint64_t fingerprint() const;
 };
 
 /// One class's behaviour at one allocation.
@@ -84,14 +91,20 @@ struct ClassProfile {
   double migrationBytes(std::int32_t phase, std::int32_t from, std::int32_t to) const;
 };
 
+struct EngineRunSpec;
+struct EngineRunRecord;
+
 /// Profiles for every class of a workload mix.
 class JobProfileTable {
 public:
   /// Runs the (class x allocation) profile simulations with up to `jobs`
   /// concurrent engines (0 = hardware concurrency).  Bit-identical at any
-  /// jobs value.
-  static JobProfileTable build(const std::vector<JobClass>& classes, std::int32_t clusterNodes,
-                               const ProfileSettings& settings = {}, unsigned jobs = 1);
+  /// jobs value.  A non-null `runner` executes the per-point engine runs
+  /// (svc::cachedRunner memoizes them); null runs them directly.
+  static JobProfileTable build(
+      const std::vector<JobClass>& classes, std::int32_t clusterNodes,
+      const ProfileSettings& settings = {}, unsigned jobs = 1,
+      const std::function<EngineRunRecord(const EngineRunSpec&)>& runner = {});
 
   std::size_t classCount() const { return classes_.size(); }
   const ClassProfile& of(std::size_t klass) const { return classes_.at(klass); }

@@ -5,10 +5,6 @@
 #include <ostream>
 #include <sstream>
 
-#include "core/engine.hpp"
-#include "jacobi/app.hpp"
-#include "lu/app.hpp"
-#include "malleable/controller.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
 #include "support/thread_pool.hpp"
@@ -101,26 +97,19 @@ JobReplayOutcome replayOne(const JobOutcome& out, const JobClass& klass,
       std::all_of(out.allocs.begin(), out.allocs.end(),
                   [&](std::int32_t a) { return a == out.allocs.front(); });
 
+  const auto execute = [&](const EngineRunSpec& spec) {
+    return settings.runner ? settings.runner(spec) : executeEngineRun(spec);
+  };
+
   if (constant) {
     // No reallocation ever happened: the replay is a plain simulation at
     // the admitted allocation — exactly the run the profile was sliced
-    // from, so the prediction must match up to SimTime quantization.
+    // from, so the prediction must match up to SimTime quantization.  The
+    // spec is *the profile spec* on purpose: a caching runner serves it
+    // from the profile build's entry without simulating.
     r.mode = ReplayMode::Static;
     r.plan = "static @ " + std::to_string(out.allocs.front());
-    core::SimEngine engine(settings.engine.simConfig());
-    core::RunResult run;
-    if (klass.app == AppKind::Lu) {
-      const lu::LuConfig cfg = klass.luAt(out.allocs.front());
-      cfg.validate();
-      const lu::LuBuild build = lu::buildLu(cfg, settings.engine.luModel, false);
-      run = lu::runLu(engine, build);
-    } else {
-      const jacobi::JacobiConfig cfg = klass.jacobiAt(out.allocs.front());
-      cfg.validate();
-      const jacobi::JacobiBuild build = jacobi::buildJacobi(cfg, settings.engine.jacobiModel, false);
-      run = jacobi::runJacobi(engine, build);
-    }
-    r.replayedSec = toSeconds(run.makespan);
+    r.replayedSec = execute(profileRunSpec(klass, out.allocs.front(), settings.engine)).totalSec;
     return r;
   }
 
@@ -134,25 +123,23 @@ JobReplayOutcome replayOne(const JobOutcome& out, const JobClass& klass,
 
   r.mode = ReplayMode::Controller;
   const std::int32_t top = *std::max_element(out.allocs.begin(), out.allocs.end());
-  const lu::LuConfig cfg = klass.luAt(top);
-  cfg.validate();
-  lu::LuBuild build = lu::buildLu(cfg, settings.engine.luModel, false);
-  if (out.allocs.front() < top) {
-    // The job started below its historical maximum: spread the columns the
-    // way a native build at the initial allocation would (round-robin over
-    // the first allocs[0] workers), so the iteration-0 removal of the
-    // surplus workers deactivates them without moving any state — the
-    // scheduler charged no migration for admission either.
-    for (std::int32_t c = 0; c < build.directory->columns(); ++c)
-      build.directory->setOwner(c, c % out.allocs.front());
-  }
-  mall::AllocationPlan plan = planFromHistory(out.allocs);
-  r.plan = plan.describe();
-  core::SimEngine engine(settings.engine.simConfig());
-  mall::LuMalleabilityController controller(engine, build, std::move(plan));
-  const core::RunResult run = lu::runLu(engine, build);
-  r.replayedSec = toSeconds(run.makespan);
-  r.replayedBytes = static_cast<double>(controller.migratedBytes());
+  EngineRunSpec spec;
+  spec.app = AppKind::Lu;
+  spec.lu = klass.luAt(top);
+  // The job may have started below its historical maximum; the executor
+  // re-spreads column ownership so the plan's iteration-0 removal
+  // deactivates the surplus workers without moving state — the scheduler
+  // charged no migration for admission either.
+  spec.startAlloc = out.allocs.front();
+  spec.plan = planFromHistory(out.allocs);
+  spec.slicePhases = false;
+  spec.config = settings.engine.simConfig();
+  spec.luModel = settings.engine.luModel;
+  spec.jacobiModel = settings.engine.jacobiModel;
+  r.plan = spec.plan.describe();
+  const EngineRunRecord rec = execute(spec);
+  r.replayedSec = rec.totalSec;
+  r.replayedBytes = rec.migratedBytes;
   return r;
 }
 
@@ -191,26 +178,43 @@ void ReplayReport::finalize() {
 }
 
 void ReplayReport::writeJson(std::ostream& os) const {
-  const auto fmt = [](double v) { return jsonDouble(v); };
-  os << "{\"policy\":\"" << jsonEscape(policy) << "\",\"nodes\":" << nodes << ",\"seed\":" << seed
-     << ",\"replayed\":" << replayed << ",\"unsupported\":" << unsupported
-     << ",\"makespan_error\":{\"mean_signed\":" << fmt(meanMakespanError)
-     << ",\"mean_abs\":" << fmt(meanAbsMakespanError) << ",\"max_abs\":" << fmt(maxAbsMakespanError)
-     << "},\"bytes_error\":{\"jobs\":" << bytesJobs << ",\"mean_signed\":" << fmt(meanBytesError)
-     << ",\"mean_abs\":" << fmt(meanAbsBytesError) << ",\"max_abs\":" << fmt(maxAbsBytesError)
-     << "},\"jobs\":[";
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const JobReplayOutcome& j = jobs[i];
-    if (i) os << ",";
-    os << "{\"id\":" << j.id << ",\"class\":\"" << jsonEscape(j.klass) << "\",\"mode\":\""
-       << replayModeName(j.mode) << "\",\"plan\":\"" << jsonEscape(j.plan) << "\""
-       << ",\"predicted_sec\":" << fmt(j.predictedSec) << ",\"replayed_sec\":" << fmt(j.replayedSec)
-       << ",\"makespan_error\":" << fmt(j.makespanError())
-       << ",\"predicted_bytes\":" << fmt(j.predictedBytes)
-       << ",\"replayed_bytes\":" << fmt(j.replayedBytes)
-       << ",\"bytes_error\":" << fmt(j.bytesError()) << "}";
+  JsonWriter w(os);
+  w.beginObject()
+      .field("policy", policy)
+      .field("nodes", nodes)
+      .field("seed", seed)
+      .field("replayed", replayed)
+      .field("unsupported", unsupported);
+  w.key("makespan_error")
+      .beginObject()
+      .field("mean_signed", meanMakespanError)
+      .field("mean_abs", meanAbsMakespanError)
+      .field("max_abs", maxAbsMakespanError)
+      .endObject();
+  w.key("bytes_error")
+      .beginObject()
+      .field("jobs", bytesJobs)
+      .field("mean_signed", meanBytesError)
+      .field("mean_abs", meanAbsBytesError)
+      .field("max_abs", maxAbsBytesError)
+      .endObject();
+  w.key("jobs").beginArray();
+  for (const JobReplayOutcome& j : jobs) {
+    w.beginObject()
+        .field("id", j.id)
+        .field("class", j.klass)
+        .field("mode", replayModeName(j.mode))
+        .field("plan", j.plan)
+        .field("predicted_sec", j.predictedSec)
+        .field("replayed_sec", j.replayedSec)
+        .field("makespan_error", j.makespanError())
+        .field("predicted_bytes", j.predictedBytes)
+        .field("replayed_bytes", j.replayedBytes)
+        .field("bytes_error", j.bytesError())
+        .endObject();
   }
-  os << "]}";
+  w.endArray().endObject();
+  DPS_CHECK(w.closed(), "unbalanced replay-report JSON");
 }
 
 std::string ReplayReport::jsonString() const {

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "malleable/plan.hpp"
+#include "sched/engine_run.hpp"
 #include "sched/metrics.hpp"
 #include "sched/profile.hpp"
 #include "sched/workload.hpp"
@@ -100,6 +101,10 @@ struct ReplaySettings {
   ProfileSettings engine;
   /// Concurrent replay engines (0 = hardware concurrency).
   unsigned jobs = 1;
+  /// Executes the per-job engine runs; null = direct execution.  With
+  /// svc::cachedRunner, static replays share cache entries with the profile
+  /// build that predicted them (identical specs), so they simulate nothing.
+  EngineRunFn runner{};
 };
 
 /// Replays every job of `metrics` (a simulateCluster result for `workload`)

@@ -1,0 +1,67 @@
+// Stable structural fingerprints for configuration structs.
+//
+// The svc:: profile cache keys memoized simulation results by the exact
+// engine configuration that produced them; a configuration that differs in
+// *any* semantic field must never alias another's cache entry.  Fingerprint
+// is the shared accumulator every layer's config hashes itself into: FNV-1a
+// over the fields' byte-exact representations (doubles via their bit
+// pattern, durations via their nanosecond count), order-sensitive, with a
+// type tag mixed in per value so adjacent fields of different types cannot
+// cancel out.
+//
+// The value is deterministic across processes and platforms of equal
+// endianness and stable across runs — suitable for cache keys and for
+// diffing configurations in reports, not for cryptographic purposes.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "support/time.hpp"
+
+namespace dps {
+
+class Fingerprint {
+public:
+  /// FNV-1a 64-bit offset basis / prime.
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  std::uint64_t value() const { return h_; }
+
+  Fingerprint& add(std::uint64_t v) { return tag('u').mixWord(v); }
+  Fingerprint& add(std::int64_t v) { return tag('i').mixWord(static_cast<std::uint64_t>(v)); }
+  Fingerprint& add(std::int32_t v) { return add(static_cast<std::int64_t>(v)); }
+  Fingerprint& add(bool v) { return tag('b').mixWord(v ? 1 : 0); }
+  Fingerprint& add(double v) {
+    // +0.0 and -0.0 hash identically (they simulate identically); NaNs are
+    // not expected in configurations.
+    if (v == 0.0) v = 0.0;
+    return tag('d').mixWord(std::bit_cast<std::uint64_t>(v));
+  }
+  Fingerprint& add(SimDuration d) { return tag('t').mixWord(static_cast<std::uint64_t>(d.count())); }
+  Fingerprint& add(std::string_view s) {
+    tag('s').mixWord(s.size());
+    for (char c : s) mixByte(static_cast<unsigned char>(c));
+    return *this;
+  }
+
+private:
+  Fingerprint& tag(unsigned char t) {
+    mixByte(t);
+    return *this;
+  }
+  Fingerprint& mixWord(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mixByte(static_cast<unsigned char>(v >> (8 * i)));
+    return *this;
+  }
+  void mixByte(unsigned char b) {
+    h_ ^= b;
+    h_ *= kPrime;
+  }
+
+  std::uint64_t h_ = kOffset;
+};
+
+} // namespace dps

@@ -1,0 +1,105 @@
+// svc::RequestQueue — bounded admission in front of the profile cache.
+//
+// A profile service that accepts every query melts down exactly when it is
+// most loaded: cold-path queries each cost a full engine simulation.  This
+// queue bounds the number of admitted-but-unserved requests; a submit that
+// would exceed the bound is rejected immediately with a retry hint derived
+// from the observed service rate (EWMA of per-request service time times
+// the backlog ahead of the retrier) — callers back off instead of piling
+// on.
+//
+// Two draining modes:
+//   * workers > 0 — the queue owns that many service threads, each popping
+//     requests and resolving them through the cache;
+//   * workers = 0 — manual mode: nothing drains until the owner calls
+//     drainOne(), which serves exactly one request inline.  Tests use this
+//     to fill the queue deterministically and exercise the rejection path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/engine_run.hpp"
+#include "svc/profile_cache.hpp"
+
+namespace dps::svc {
+
+struct Admission {
+  enum class Decision : std::uint8_t { Accepted, Rejected };
+  Decision decision = Decision::Accepted;
+  /// Queue depth observed at the admission decision (the accepted request
+  /// included when accepted).
+  std::size_t depth = 0;
+  /// Backpressure hint: estimated seconds until the queue has room again.
+  /// 0 when accepted.
+  double retryAfterSec = 0;
+
+  bool accepted() const { return decision == Decision::Accepted; }
+};
+
+class RequestQueue {
+public:
+  struct Options {
+    /// Maximum admitted-but-unserved requests; submits beyond it reject.
+    std::size_t capacity = 64;
+    /// Service threads; 0 = manual drainOne() mode.
+    unsigned workers = 0;
+    /// Smoothing factor of the service-time EWMA behind retryAfterSec.
+    double ewmaAlpha = 0.2;
+  };
+
+  using Completion = std::function<void(const sched::EngineRunRecord&)>;
+
+  RequestQueue(ProfileCache& cache, Options options);
+  ~RequestQueue();
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Admits or rejects the request.  Accepted requests are served in FIFO
+  /// order; `done` (optional) runs on the serving thread with the result.
+  Admission submit(sched::EngineRunSpec spec, Completion done = {});
+
+  /// Manual mode: serves the oldest queued request inline; false when the
+  /// queue is empty.
+  bool drainOne();
+
+  /// Blocks until every admitted request has been served.
+  void drain();
+
+  std::size_t depth() const;
+  std::uint64_t served() const;
+  std::uint64_t rejectedCount() const;
+  /// Current EWMA of per-request service time (seconds); 0 before any
+  /// request completes.
+  double ewmaServiceSec() const;
+
+private:
+  struct Request {
+    sched::EngineRunSpec spec;
+    Completion done;
+  };
+
+  void serve(Request req);
+  bool popFront(Request& out);
+  void workerLoop();
+
+  ProfileCache& cache_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;      // wakes workers on submit/stop
+  std::condition_variable drained_; // wakes drain() on completion
+  std::deque<Request> queue_;
+  std::size_t inService_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t rejected_ = 0;
+  double ewmaServiceSec_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+} // namespace dps::svc

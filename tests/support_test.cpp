@@ -9,7 +9,9 @@
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
+#include "support/fingerprint.hpp"
 #include "support/histogram.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -335,6 +337,78 @@ TEST(ThreadPoolTest, SubmitRunsDetachedTasks) {
     // Destructor drains the queue before joining.
   }
   EXPECT_EQ(done.load(), 8);
+}
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginObject()
+      .field("name", "a\"b")
+      .field("n", 42)
+      .field("x", 0.5)
+      .field("on", true);
+  w.key("list").beginArray().value(1).value("two").null().endArray();
+  w.key("nested").beginObject().endObject();
+  w.endObject();
+  EXPECT_TRUE(w.closed());
+  EXPECT_EQ(os.str(), "{\"name\":\"a\\\"b\",\"n\":42,\"x\":0.5,\"on\":true,"
+                      "\"list\":[1,\"two\",null],\"nested\":{}}");
+}
+
+TEST(JsonWriterTest, StringLiteralsAreStringsNotBools) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  const char* s = "static";
+  w.beginObject().field("mode", s).endObject();
+  EXPECT_EQ(os.str(), "{\"mode\":\"static\"}");
+}
+
+TEST(JsonWriterTest, RawSplicesPreRenderedFragments) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginObject().field("a", 1);
+  w.key("inner").raw("{\"pre\":true}");
+  w.rawMembers("\"b\":2,\"c\":3");
+  w.endObject();
+  EXPECT_EQ(os.str(), "{\"a\":1,\"inner\":{\"pre\":true},\"b\":2,\"c\":3}");
+}
+
+TEST(JsonWriterTest, DoublesRoundTrip) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginArray().value(1.0 / 3.0).endArray();
+  EXPECT_EQ(os.str(), "[" + jsonDouble(1.0 / 3.0) + "]");
+}
+
+TEST(FingerprintTest, StableAndOrderSensitive) {
+  Fingerprint a, b;
+  a.add(std::uint64_t{1}).add(2.0).add(std::string_view("x"));
+  b.add(std::uint64_t{1}).add(2.0).add(std::string_view("x"));
+  EXPECT_EQ(a.value(), b.value());
+
+  Fingerprint c;
+  c.add(2.0).add(std::uint64_t{1}).add(std::string_view("x"));
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(FingerprintTest, TypeTagsSeparateEqualBitPatterns) {
+  Fingerprint i, u;
+  i.add(std::int64_t{7});
+  u.add(std::uint64_t{7});
+  EXPECT_NE(i.value(), u.value());
+
+  // -0.0 and 0.0 compare equal, so they must fingerprint equal too.
+  Fingerprint neg, pos;
+  neg.add(-0.0);
+  pos.add(0.0);
+  EXPECT_EQ(neg.value(), pos.value());
+}
+
+TEST(FingerprintTest, StringBoundariesMatter) {
+  Fingerprint ab_c, a_bc;
+  ab_c.add(std::string_view("ab")).add(std::string_view("c"));
+  a_bc.add(std::string_view("a")).add(std::string_view("bc"));
+  EXPECT_NE(ab_c.value(), a_bc.value());
 }
 
 } // namespace

@@ -1,0 +1,261 @@
+// svc:: profile service: cache key fingerprints, single-flight memoization,
+// the acquisition API's bit-identity and determinism contracts, replay
+// sharing profile-build cache entries, and bounded-queue admission.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sched/cluster.hpp"
+#include "sched/engine_run.hpp"
+#include "sched/replay.hpp"
+#include "svc/profile_cache.hpp"
+#include "svc/request_queue.hpp"
+
+namespace dps::svc {
+namespace {
+
+/// Tiny mix for fast unit tests (8-level LU + 6-sweep Jacobi).
+std::vector<sched::JobClass> tinyMix() {
+  sched::JobClass lu;
+  lu.name = "lu-tiny";
+  lu.app = sched::AppKind::Lu;
+  lu.lu.n = 64;
+  lu.lu.r = 8;
+  lu.lu.workers = 4;
+  lu.lu.seed = 3;
+  sched::JobClass ja;
+  ja.name = "jacobi-tiny";
+  ja.app = sched::AppKind::Jacobi;
+  ja.jacobi.rows = 64;
+  ja.jacobi.cols = 64;
+  ja.jacobi.sweeps = 6;
+  ja.jacobi.workers = 4;
+  return {lu, ja};
+}
+
+sched::EngineRunSpec tinySpec() {
+  return sched::profileRunSpec(tinyMix()[0], 4, sched::ProfileSettings{});
+}
+
+void expectRecordsEqual(const sched::EngineRunRecord& a, const sched::EngineRunRecord& b) {
+  EXPECT_EQ(a.totalSec, b.totalSec);
+  EXPECT_EQ(a.phaseSec, b.phaseSec);
+  EXPECT_EQ(a.phaseEff, b.phaseEff);
+  EXPECT_EQ(a.phaseMarker, b.phaseMarker);
+  EXPECT_EQ(a.migratedBytes, b.migratedBytes);
+  ASSERT_EQ(a.allocEvents.size(), b.allocEvents.size());
+  for (std::size_t i = 0; i < a.allocEvents.size(); ++i) {
+    EXPECT_EQ(a.allocEvents[i].timeSec, b.allocEvents[i].timeSec);
+    EXPECT_EQ(a.allocEvents[i].nodes, b.allocEvents[i].nodes);
+  }
+}
+
+TEST(ProfileCacheTest, HitIsBitIdenticalToDirectExecution) {
+  const auto spec = tinySpec();
+  const auto direct = sched::executeEngineRun(spec);
+
+  ProfileCache cache;
+  const auto miss = cache.run(spec);
+  const auto hit = cache.run(spec);
+  expectRecordsEqual(direct, miss);
+  expectRecordsEqual(direct, hit);
+
+  const auto cs = cache.stats();
+  EXPECT_EQ(cs.misses, 1u);
+  EXPECT_EQ(cs.hits, 1u);
+  EXPECT_EQ(cs.engineRuns, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProfileCacheTest, EverySettingsFieldChangesTheFingerprint) {
+  const sched::ProfileSettings base;
+  const std::uint64_t fp = base.fingerprint();
+  EXPECT_EQ(fp, sched::ProfileSettings{}.fingerprint()); // stable
+
+  auto mutate = [&](auto&& change) {
+    sched::ProfileSettings s;
+    change(s);
+    return s.fingerprint();
+  };
+  EXPECT_NE(fp, mutate([](auto& s) { s.platform.latency = s.platform.latency * 2; }));
+  EXPECT_NE(fp, mutate([](auto& s) { s.platform.bandwidthBytesPerSec *= 2; }));
+  EXPECT_NE(fp, mutate([](auto& s) { s.platform.computeScale *= 1.5; }));
+  EXPECT_NE(fp, mutate([](auto& s) { s.luModel.gemmFlopsPerSec *= 2; }));
+  EXPECT_NE(fp, mutate([](auto& s) { s.luModel.perKernelOverhead += seconds(1e-6); }));
+  EXPECT_NE(fp, mutate([](auto& s) { s.jacobiModel.cellsPerSec *= 2; }));
+
+  // The settings-level fingerprint is exactly the spec-level engine
+  // fingerprint, so profile builds and replays share cache entries.
+  EXPECT_EQ(fp, tinySpec().engineFingerprint());
+}
+
+TEST(ProfileCacheTest, SpecHalfOfTheKeySeparatesRuns) {
+  const auto a = tinySpec();
+  auto b = a;
+  b.lu.seed = 4;
+  EXPECT_EQ(a.engineFingerprint(), b.engineFingerprint());
+  EXPECT_NE(a.cacheSpec(), b.cacheSpec());
+
+  ProfileCache cache;
+  cache.run(a);
+  cache.run(b);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().engineRuns, 2u);
+}
+
+TEST(ProfileCacheTest, SingleFlightUnderContention) {
+  const auto spec = tinySpec();
+  ProfileCache cache;
+  constexpr int kThreads = 8;
+  std::vector<sched::EngineRunRecord> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] { results[static_cast<std::size_t>(t)] = cache.run(spec); });
+  for (auto& th : threads) th.join();
+
+  const auto cs = cache.stats();
+  EXPECT_EQ(cs.engineRuns, 1u) << "identical concurrent requests must simulate once";
+  EXPECT_EQ(cs.misses, 1u);
+  EXPECT_EQ(cs.hits + cs.joined, static_cast<std::uint64_t>(kThreads - 1));
+  for (int t = 1; t < kThreads; ++t)
+    expectRecordsEqual(results[0], results[static_cast<std::size_t>(t)]);
+}
+
+TEST(AcquireProfileTest, MatchesDirectBuildAtAnyJobCount) {
+  const auto classes = tinyMix();
+  const sched::ProfileSettings settings;
+  const auto direct = sched::JobProfileTable::build(classes, 4, settings, 1);
+
+  ProfileCache cacheA, cacheB;
+  const auto serial = buildProfileTable(classes, 4, settings, 1, cacheA);
+  const auto fanned = buildProfileTable(classes, 4, settings, 4, cacheB);
+
+  ASSERT_EQ(direct.classCount(), serial.classCount());
+  ASSERT_EQ(direct.classCount(), fanned.classCount());
+  for (std::size_t c = 0; c < direct.classCount(); ++c) {
+    const auto& d = direct.of(c);
+    const auto& s = serial.of(c);
+    const auto& f = fanned.of(c);
+    EXPECT_EQ(d.allocs, s.allocs);
+    EXPECT_EQ(d.allocs, f.allocs);
+    ASSERT_EQ(d.byAlloc.size(), s.byAlloc.size());
+    ASSERT_EQ(d.byAlloc.size(), f.byAlloc.size());
+    for (std::size_t i = 0; i < d.byAlloc.size(); ++i) {
+      EXPECT_EQ(d.byAlloc[i].totalSec, s.byAlloc[i].totalSec);
+      EXPECT_EQ(d.byAlloc[i].totalSec, f.byAlloc[i].totalSec);
+      EXPECT_EQ(d.byAlloc[i].phaseSec, s.byAlloc[i].phaseSec);
+      EXPECT_EQ(d.byAlloc[i].phaseSec, f.byAlloc[i].phaseSec);
+      EXPECT_EQ(d.byAlloc[i].phaseEff, f.byAlloc[i].phaseEff);
+    }
+  }
+}
+
+TEST(AcquireProfileTest, RepeatAcquisitionIsAllHits) {
+  const auto classes = tinyMix();
+  const sched::ProfileSettings settings;
+  ProfileCache cache;
+  const std::vector<std::int32_t> allocs{1, 2, 4};
+  const auto first = acquireProfile(settings, classes[0], allocs, 1, cache);
+  const auto runsAfterFirst = cache.stats().engineRuns;
+  EXPECT_EQ(runsAfterFirst, allocs.size());
+
+  const auto second = acquireProfile(settings, classes[0], allocs, 1, cache);
+  EXPECT_EQ(cache.stats().engineRuns, runsAfterFirst) << "repeat acquisition must not simulate";
+  ASSERT_EQ(first.byAlloc.size(), second.byAlloc.size());
+  for (std::size_t i = 0; i < first.byAlloc.size(); ++i)
+    EXPECT_EQ(first.byAlloc[i].totalSec, second.byAlloc[i].totalSec);
+}
+
+// The acceptance property of the PR: with one cache behind both the profile
+// build and the replay pass, `dps_cluster --replay` issues strictly fewer
+// engine runs than lookups — static replays are pure cache hits.
+TEST(ReplayThroughCacheTest, StaticReplaysShareProfileBuildEntries) {
+  const auto classes = tinyMix();
+  const sched::ProfileSettings settings;
+  ProfileCache cache;
+  const auto profiles = buildProfileTable(classes, 4, settings, 1, cache);
+  const auto runsAfterProfile = cache.stats().engineRuns;
+  ASSERT_GT(runsAfterProfile, 0u);
+
+  sched::WorkloadConfig wcfg;
+  wcfg.seed = 7;
+  wcfg.jobCount = 6;
+  wcfg.arrivalRatePerSec = 1.0;
+  wcfg.classes = classes;
+  const auto workload = sched::Workload::generate(wcfg, 4);
+  // Rigid FCFS never reallocates, so every history replays as a static run
+  // — the exact specs the profile build already simulated.
+  const auto policy = sched::makePolicy("fcfs-rigid");
+  const auto metrics = sched::simulateCluster(
+      sched::ClusterConfig::fromProfile(settings.platform, 4), workload, profiles, *policy);
+
+  sched::ReplaySettings rs;
+  rs.engine = settings;
+  rs.runner = cachedRunner(cache);
+  const auto report = sched::replaySchedule(metrics, workload, profiles, rs);
+  EXPECT_GT(report.replayed, 0);
+  EXPECT_EQ(cache.stats().engineRuns, runsAfterProfile)
+      << "static replays must be served from the profile build's cache entries";
+  EXPECT_GT(cache.stats().lookups(), cache.stats().engineRuns);
+}
+
+TEST(RequestQueueTest, BoundedAdmissionRejectsWithRetryHint) {
+  ProfileCache cache;
+  RequestQueue::Options opts;
+  opts.capacity = 2;
+  opts.workers = 0; // manual drain: nothing serves until we say so
+  RequestQueue queue(cache, opts);
+
+  const auto spec = tinySpec();
+  int completions = 0;
+  auto onDone = [&](const sched::EngineRunRecord&) { ++completions; };
+  EXPECT_TRUE(queue.submit(spec, onDone).accepted());
+  EXPECT_TRUE(queue.submit(spec, onDone).accepted());
+
+  const auto rejected = queue.submit(spec, onDone);
+  EXPECT_FALSE(rejected.accepted());
+  EXPECT_EQ(rejected.depth, 2u);
+  EXPECT_GT(rejected.retryAfterSec, 0.0) << "rejections must carry a backoff hint";
+  EXPECT_EQ(queue.rejectedCount(), 1u);
+
+  EXPECT_TRUE(queue.drainOne());
+  EXPECT_TRUE(queue.submit(spec, onDone).accepted()) << "drained slot frees capacity";
+  EXPECT_TRUE(queue.drainOne());
+  EXPECT_TRUE(queue.drainOne());
+  EXPECT_FALSE(queue.drainOne()) << "queue must report empty";
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(queue.served(), 3u);
+  EXPECT_GT(queue.ewmaServiceSec(), 0.0);
+  EXPECT_EQ(cache.stats().engineRuns, 1u) << "identical queued requests memoize";
+}
+
+TEST(RequestQueueTest, WorkerThreadsDrainConcurrentSubmissions) {
+  ProfileCache cache;
+  RequestQueue::Options opts;
+  opts.capacity = 64;
+  opts.workers = 2;
+  RequestQueue queue(cache, opts);
+
+  const auto classes = tinyMix();
+  const sched::ProfileSettings settings;
+  std::atomic<int> completions{0};
+  int submitted = 0;
+  for (int round = 0; round < 4; ++round)
+    for (const auto& klass : classes)
+      for (std::int32_t alloc : sched::feasibleAllocations(klass, 4)) {
+        const auto adm = queue.submit(sched::profileRunSpec(klass, alloc, settings),
+                                      [&](const sched::EngineRunRecord&) { ++completions; });
+        ASSERT_TRUE(adm.accepted());
+        ++submitted;
+      }
+  queue.drain();
+  EXPECT_EQ(completions.load(), submitted);
+  EXPECT_EQ(queue.served(), static_cast<std::uint64_t>(submitted));
+  // 4 identical rounds: only the first can simulate.
+  EXPECT_EQ(cache.stats().engineRuns, static_cast<std::uint64_t>(submitted) / 4);
+}
+
+} // namespace
+} // namespace dps::svc

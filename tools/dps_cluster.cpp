@@ -27,6 +27,7 @@
 #include "sched/cluster.hpp"
 #include "sched/replay.hpp"
 #include "support/cli.hpp"
+#include "svc/profile_cache.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
@@ -103,9 +104,13 @@ int main(int argc, char** argv) {
     sims += sched::feasibleAllocations(k, static_cast<std::int32_t>(nodes)).size();
   std::printf("profiling %zu (class x allocation) points on the DPS engine (--jobs %lld)...\n",
               sims, static_cast<long long>(jobs));
+  // One cache serves the profile build and (with --replay) the replay pass:
+  // static histories replay the exact spec the profile build simulated, so
+  // those runs are hits instead of fresh engine executions.
+  svc::ProfileCache cache;
   const auto profiles =
-      sched::JobProfileTable::build(workload.cfg.classes, static_cast<std::int32_t>(nodes),
-                                    settings, static_cast<unsigned>(jobs));
+      svc::buildProfileTable(workload.cfg.classes, static_cast<std::int32_t>(nodes), settings,
+                             static_cast<unsigned>(jobs), cache);
 
   Table prof("job profiles (per-phase model from PDEXEC runs)");
   prof.header({"class", "allocs", "phases", "best [s]", "state [MB]"});
@@ -173,6 +178,7 @@ int main(int argc, char** argv) {
     sched::ReplaySettings rs;
     rs.engine = settings;
     rs.jobs = static_cast<unsigned>(jobs);
+    rs.runner = svc::cachedRunner(cache);
     replayReport = sched::replaySchedule(*primary, workload, profiles, rs);
     Table rt("prediction vs in-engine replay under " + policyName);
     rt.header({"job", "class", "mode", "plan", "predicted [s]", "replayed [s]", "error",
@@ -192,6 +198,10 @@ int main(int argc, char** argv) {
                 replayReport.meanMakespanError * 100.0, replayReport.meanAbsMakespanError * 100.0,
                 replayReport.maxAbsMakespanError * 100.0, replayReport.bytesJobs,
                 replayReport.meanBytesError * 100.0, replayReport.maxAbsBytesError * 100.0);
+    const auto cs = cache.stats();
+    std::printf("profile cache: %llu lookups, %llu engine runs, hit rate %.0f%%\n",
+                static_cast<unsigned long long>(cs.lookups()),
+                static_cast<unsigned long long>(cs.engineRuns), cs.hitRate() * 100.0);
   }
 
   if (!jsonPath.empty()) {
@@ -200,21 +210,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write JSON to %s\n", jsonPath.c_str());
       return 1;
     }
-    os << "{\"nodes\":" << nodes << ",\"seed\":" << seed
-       << ",\"job_count\":" << workload.jobs.size()
-       << ",\"arrival_rate\":" << jsonDouble(arrivalRate) << ",\"primary\":\""
-       << jsonEscape(policyName) << "\""
-       << ",\"workload\":\"" << jsonEscape(workload.describe()) << "\",\"policies\":[";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      if (i) os << ",";
-      results[i].writeJson(os);
-    }
-    os << "]";
-    if (replay) {
-      os << ",\"replay\":";
-      replayReport.writeJson(os);
-    }
-    os << "}\n";
+    JsonWriter w(os);
+    w.beginObject()
+        .field("nodes", nodes)
+        .field("seed", seed)
+        .field("job_count", workload.jobs.size())
+        .field("arrival_rate", arrivalRate)
+        .field("primary", policyName)
+        .field("workload", workload.describe());
+    w.key("policies").beginArray();
+    for (const auto& m : results) w.raw(m.jsonString());
+    w.endArray();
+    if (replay) w.key("replay").raw(replayReport.jsonString());
+    w.endObject();
+    DPS_CHECK(w.closed(), "unbalanced cluster JSON");
+    os << "\n";
     std::printf("wrote %s\n", jsonPath.c_str());
   }
   return 0;
