@@ -1,0 +1,303 @@
+// Cluster event-loop scaling curve + interpolated-profile validation.
+//
+// Two claims from the "make the cluster loop fast at 10,000x today's scale"
+// push, measured and [CHECK]-asserted:
+//
+//   1. Event-loop throughput.  A (job-count x nodes) grid of saturated
+//      EASY-backfill runs reports wall time, events/sec and jobs/sec for
+//      the optimized simulateCluster; at the comparison point the
+//      pre-optimization loop (simulateClusterReference) runs the identical
+//      configuration and must be >= 10x slower per event — while producing
+//      bit-identical metrics JSON, so the speedup is an optimization, not a
+//      behaviour change.  Saturation matters: an idle cluster never
+//      exercises the backfill scan whose full-array rebuild was the
+//      quadratic wall.
+//
+//   2. Interpolated profile tables.  The scaled mix (dense malleability
+//      levels) is profiled from anchor engine runs only; the anchor-run
+//      reduction must be >= 4x, anchor entries must be served back from the
+//      profile cache bit-for-bit, and the synthesized entries are validated
+//      end-to-end by the replay harness: jobs pinned to *non-anchor*
+//      allocations run a full engine simulation (static replay) and the
+//      aggregate |makespan error| of the interpolated prediction must stay
+//      under 5%.
+//
+// JSON artifact (CLUSTER_scale.json): the grid, the baseline comparison and
+// the interpolation error block, consumed by CI assertions and the bench
+// dashboard.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sched/cluster.hpp"
+#include "sched/replay.hpp"
+#include "support/json.hpp"
+#include "svc/profile_cache.hpp"
+
+using namespace dps;
+
+namespace {
+
+double wallSec(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since).count();
+}
+
+/// Pins every job to a predetermined allocation: admission asks for exactly
+/// allocFor[id] and phase boundaries keep it, so each job's history is
+/// constant — the static-replay shape that isolates pure profile error.
+class PinnedAlloc final : public sched::Policy {
+public:
+  explicit PinnedAlloc(std::vector<std::int32_t> byJob) : byJob_(std::move(byJob)) {}
+  std::string name() const override { return "pinned"; }
+  std::int32_t admit(const sched::QueuedJobView& job, const sched::ClassProfile&,
+                     const sched::ClusterView&) override {
+    return byJob_.at(static_cast<std::size_t>(job.id));
+  }
+  std::int32_t reallocate(const sched::RunningJobView& job, const sched::ClassProfile&,
+                          const sched::ClusterView&) override {
+    return job.nodes;
+  }
+
+private:
+  std::vector<std::int32_t> byJob_;
+};
+
+struct GridPoint {
+  std::int32_t jobCount;
+  std::int32_t nodes;
+  double rate; // chosen to keep the machine saturated (queue + backfill hot)
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, /*withSmoke=*/true);
+  const unsigned jobs = bench::effectiveJobs(args.opts);
+
+  // ---------------------------------------------------------------- grid --
+  // Saturated EASY-backfill runs under fcfs-rigid (the policy whose blocked
+  // head triggers backfill passes constantly — the pre-optimization hot
+  // spot).  The last point doubles as the reference-loop comparison point;
+  // it is sized so the reference finishes in CI time even under sanitizers.
+  const std::vector<GridPoint> grid =
+      args.smoke ? std::vector<GridPoint>{{2000, 64, 8.0}, {20000, 256, 30.0}, {20000, 64, 8.0}}
+                 : std::vector<GridPoint>{{10000, 64, 8.0},
+                                          {50000, 256, 30.0},
+                                          {100000, 1024, 120.0},
+                                          {100000, 4096, 480.0},
+                                          {20000, 64, 8.0}};
+
+  std::int32_t maxNodes = 0;
+  for (const GridPoint& g : grid) maxNodes = std::max(maxNodes, g.nodes);
+
+  const sched::ProfileSettings settings;
+  svc::ProfileCache cache;
+  // The default mix tops out at 8 workers, so one small profile table
+  // serves every grid point (same class set at any cluster size).
+  const auto classes = sched::Workload::defaultMix(maxNodes);
+  const auto profiles = svc::buildProfileTable(classes, maxNodes, settings, jobs, cache);
+
+  Table t("event-loop scaling (fcfs-rigid + EASY backfill, saturated arrivals)");
+  t.header({"jobs", "nodes", "rate [1/s]", "wall [s]", "events", "events/s", "jobs/s",
+            "mean slowdown"});
+  std::ostringstream gridJson;
+  JsonWriter gw(gridJson);
+  gw.beginArray();
+  sched::ClusterMetrics lastOpt;
+  sched::ClusterConfig lastCfg;
+  sched::Workload lastWorkload;
+  double lastWall = 0;
+  for (const GridPoint& g : grid) {
+    sched::WorkloadConfig wcfg;
+    wcfg.seed = 1;
+    wcfg.jobCount = g.jobCount;
+    wcfg.arrivalRatePerSec = g.rate;
+    wcfg.classes = classes;
+    const auto workload = sched::Workload::generate(wcfg, g.nodes);
+
+    auto ccfg = sched::ClusterConfig::fromProfile(settings.platform, g.nodes);
+    ccfg.easyBackfill = true;
+    // SLURM-style bounded backfill (bf_max_job_test analogue).  Unlimited
+    // depth makes every blocked-head pass O(queue) in BOTH loops — the
+    // shared candidate walk, not this PR's target — and no production
+    // scheduler runs EASY unbounded at this queue depth anyway.
+    ccfg.backfillDepth = 100;
+    sched::FcfsRigid policy;
+    const auto start = std::chrono::steady_clock::now();
+    const auto m = sched::simulateCluster(ccfg, workload, profiles, policy);
+    const double wall = wallSec(start);
+    const double evPerSec = wall > 0 ? static_cast<double>(m.events) / wall : 0;
+    const double jobsPerSec = wall > 0 ? static_cast<double>(g.jobCount) / wall : 0;
+    t.row({std::to_string(g.jobCount), std::to_string(g.nodes), Table::num(g.rate, 1),
+           Table::num(wall, 2), std::to_string(m.events), Table::num(evPerSec, 0),
+           Table::num(jobsPerSec, 0), Table::num(m.meanSlowdown, 2)});
+    bench::check(m.utilization > 0.5,
+                 std::to_string(g.jobCount) + " jobs / " + std::to_string(g.nodes) +
+                     " nodes: grid point is actually saturated (utilization > 50%)");
+    gw.beginObject()
+        .field("job_count", g.jobCount)
+        .field("nodes", g.nodes)
+        .field("rate", g.rate)
+        .field("backfill_depth", ccfg.backfillDepth)
+        .field("wall_sec", wall)
+        .field("events", m.events)
+        .field("events_per_sec", evPerSec)
+        .field("jobs_per_sec", jobsPerSec)
+        .field("makespan_sec", m.makespanSec)
+        .field("utilization", m.utilization)
+        .field("mean_slowdown", m.meanSlowdown)
+        .endObject();
+    lastOpt = m;
+    lastCfg = ccfg;
+    lastWorkload = workload;
+    lastWall = wall;
+  }
+  gw.endArray();
+  DPS_CHECK(gw.closed(), "unbalanced grid JSON");
+  t.print(std::cout);
+
+  // ---------------------------------------------- reference-loop baseline --
+  // The pre-optimization loop on the comparison point: same config, same
+  // workload, same profiles.  Its per-event cost carries the full-array
+  // backfill rebuild and per-query tail sums, so the ratio is the measured
+  // value of this PR's hot-path work.
+  std::printf("\nrunning the pre-optimization reference loop on the comparison point "
+              "(%d jobs / %d nodes)...\n",
+              lastWorkload.cfg.jobCount, lastCfg.nodes);
+  sched::FcfsRigid refPolicy;
+  const auto refStart = std::chrono::steady_clock::now();
+  const auto refMetrics =
+      sched::simulateClusterReference(lastCfg, lastWorkload, profiles, refPolicy);
+  const double refWall = wallSec(refStart);
+  const double speedup = lastWall > 0 ? refWall / lastWall : 0;
+  const bool identical = refMetrics.jsonString() == lastOpt.jsonString();
+  std::printf("reference: %.2fs, optimized: %.2fs -> %.1fx\n", refWall, lastWall, speedup);
+  bench::check(identical,
+               "optimized loop bit-identical to the reference loop (full metrics JSON)");
+  bench::check(speedup >= 10.0, "optimized event loop >= 10x reference throughput "
+                                "at the comparison point (got " +
+                                    Table::num(speedup, 1) + "x)");
+
+  // ----------------------------------------------- interpolated profiles --
+  // Dense-malleability scaled mix at 48 nodes: anchors only on the engine.
+  const std::int32_t interpNodes = 48;
+  const auto scaled = sched::Workload::scaledMix(interpNodes);
+  svc::ProfileCache interpCache;
+  sched::ProfileBuildOptions popts; // interpolate = true, auto anchors
+  const auto interpStart = std::chrono::steady_clock::now();
+  const auto interp =
+      svc::buildProfileTable(scaled, interpNodes, settings, jobs, interpCache, popts);
+  const double interpWall = wallSec(interpStart);
+  const auto& binfo = interp.buildInfo();
+  std::printf("\ninterpolated scaled-mix table: %zu engine runs for %zu allocation points "
+              "(%.1fx reduction, %.1fs)\n",
+              binfo.engineRunPoints, binfo.profiledAllocs, binfo.runReduction(), interpWall);
+  bench::check(binfo.runReduction() >= 4.0,
+               "anchor engine runs reduced >= 4x vs exhaustive profiling (got " +
+                   Table::num(binfo.runReduction(), 1) + "x)");
+
+  // Anchor entries must be the engine profiles bit-for-bit: re-acquiring
+  // every anchor through the same cache must hit (no new engine runs) and
+  // return exactly the table's stored profile.
+  const auto runsBefore = interpCache.stats().engineRuns;
+  bool anchorsExact = true;
+  for (std::size_t c = 0; c < interp.classCount(); ++c) {
+    const auto& cp = interp.of(c);
+    const auto full = sched::feasibleAllocations(scaled[c], interpNodes);
+    const auto anchors = sched::InterpolatedProfile::pickAnchors(
+        full, sched::InterpolatedProfile::autoAnchorCount(full.size()));
+    const auto again = svc::acquireProfile(settings, scaled[c], anchors, jobs, interpCache);
+    for (std::size_t a = 0; a < anchors.size(); ++a) {
+      const auto& fresh = again.at(anchors[a]);
+      const auto& stored = cp.at(anchors[a]);
+      anchorsExact = anchorsExact && fresh.totalSec == stored.totalSec &&
+                     fresh.phaseSec == stored.phaseSec && fresh.phaseEff == stored.phaseEff;
+    }
+  }
+  bench::check(anchorsExact, "interpolated table reproduces anchor engine profiles bit-for-bit");
+  bench::check(interpCache.stats().engineRuns == runsBefore,
+               "re-acquiring anchors is pure cache hits (no new engine runs)");
+
+  // Replay validation of the synthesized entries: pin each job of a small
+  // workload to a NON-anchor allocation of its class, simulate, then replay
+  // the constant histories on the real engine (static mode).  The
+  // prediction error is pure interpolation error.
+  sched::WorkloadConfig wcfg;
+  wcfg.seed = 7;
+  wcfg.jobCount = 12;
+  wcfg.arrivalRatePerSec = 0.01; // light load: every pinned job gets its nodes
+  wcfg.classes = scaled;
+  const auto interpWorkload = sched::Workload::generate(wcfg, interpNodes);
+  std::vector<std::int32_t> pinned(interpWorkload.jobs.size(), 0);
+  std::vector<std::size_t> perClassPick(scaled.size(), 0);
+  for (const auto& job : interpWorkload.jobs) {
+    const auto full = sched::feasibleAllocations(scaled[job.klass], interpNodes);
+    const auto anchors = sched::InterpolatedProfile::pickAnchors(
+        full, sched::InterpolatedProfile::autoAnchorCount(full.size()));
+    std::vector<std::int32_t> nonAnchors;
+    for (std::int32_t a : full)
+      if (!std::binary_search(anchors.begin(), anchors.end(), a)) nonAnchors.push_back(a);
+    DPS_CHECK(!nonAnchors.empty(), "scaled-mix class with no non-anchor allocations");
+    pinned[static_cast<std::size_t>(job.id)] =
+        nonAnchors[perClassPick[job.klass]++ % nonAnchors.size()];
+  }
+  PinnedAlloc pinPolicy(pinned);
+  auto interpCcfg = sched::ClusterConfig::fromProfile(settings.platform, interpNodes);
+  const auto pinMetrics = sched::simulateCluster(interpCcfg, interpWorkload, interp, pinPolicy);
+
+  std::printf("replaying %zu non-anchor pinned jobs in-engine (--jobs %u)...\n",
+              pinMetrics.jobs.size(), jobs);
+  sched::ReplaySettings rs;
+  rs.engine = settings;
+  rs.jobs = jobs;
+  rs.runner = svc::cachedRunner(interpCache);
+  const auto report = sched::replaySchedule(pinMetrics, interpWorkload, interp, rs);
+  std::printf("interpolation error vs engine: mean %+.2f%%, |mean| %.2f%%, |max| %.2f%% over "
+              "%d replayed jobs\n",
+              report.meanMakespanError * 100.0, report.meanAbsMakespanError * 100.0,
+              report.maxAbsMakespanError * 100.0, report.replayed);
+  bench::check(report.replayed == static_cast<std::int32_t>(pinMetrics.jobs.size()),
+               "every pinned job replays (constant histories are static-mode)");
+  bench::check(report.meanAbsMakespanError < 0.05,
+               "interpolated profiles within 5% aggregate makespan error (replay-validated, "
+               "got " +
+                   Table::num(report.meanAbsMakespanError * 100.0, 2) + "%)");
+
+  std::ostringstream extra;
+  {
+    JsonWriter w(extra);
+    w.beginObject()
+        .field("comparison_job_count", lastWorkload.cfg.jobCount)
+        .field("comparison_nodes", lastCfg.nodes)
+        .field("reference_wall_sec", refWall)
+        .field("optimized_wall_sec", lastWall)
+        .field("speedup", speedup)
+        .field("identical", identical)
+        .endObject();
+    DPS_CHECK(w.closed(), "unbalanced baseline JSON");
+  }
+  std::ostringstream interpJson;
+  {
+    JsonWriter w(interpJson);
+    w.beginObject()
+        .field("nodes", interpNodes)
+        .field("engine_runs", static_cast<std::uint64_t>(binfo.engineRunPoints))
+        .field("alloc_points", static_cast<std::uint64_t>(binfo.profiledAllocs))
+        .field("run_reduction", binfo.runReduction())
+        .field("build_wall_sec", interpWall)
+        .field("replayed", report.replayed)
+        .field("mean_makespan_error", report.meanMakespanError)
+        .field("mean_abs_makespan_error", report.meanAbsMakespanError)
+        .field("max_abs_makespan_error", report.maxAbsMakespanError)
+        .endObject();
+    DPS_CHECK(w.closed(), "unbalanced interpolation JSON");
+  }
+  const std::string extraJson = "\"grid\":" + gridJson.str() + ",\"baseline\":" + extra.str() +
+                                ",\"interpolation\":" + interpJson.str();
+  return bench::finish("cluster_scale", args.opts, nullptr, extraJson);
+}

@@ -19,9 +19,19 @@
 // scheduling order, policies are pure, and the profile table is
 // bit-identical at any build concurrency — so a cluster run is a pure
 // function of (workload, profiles, policy, config) at any --jobs value.
+//
+// Two implementations share these semantics event-for-event:
+// simulateCluster is the production loop whose per-event hot paths are
+// O(1)/O(log n) — precomputed remaining-time suffix sums, an ordered
+// estimated-finish index over the running set for backfill's shadow-time
+// computation, a lazily compacted queue — and simulateClusterReference is
+// the pre-optimization loop (full-array scans, tail sums recomputed per
+// query) kept as the oracle: tests assert bit-identical metrics and
+// bench/cluster_scale measures the throughput gap.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "net/profile.hpp"
 #include "sched/metrics.hpp"
@@ -30,6 +40,16 @@
 #include "sched/workload.hpp"
 
 namespace dps::sched {
+
+/// Snapshot handed to ClusterConfig::onProgress while a simulation runs.
+struct ClusterProgress {
+  std::int64_t events = 0;       // arrivals + phase boundaries processed
+  std::int32_t finishedJobs = 0;
+  std::int32_t totalJobs = 0;
+  double simNowSec = 0;          // simulated clock, not wall clock
+  std::int32_t runningJobs = 0;
+  std::int32_t queuedJobs = 0;
+};
 
 struct ClusterConfig {
   std::int32_t nodes = 8;
@@ -47,6 +67,13 @@ struct ClusterConfig {
   /// before the shadow time, or fit into the nodes spare beyond the head's
   /// need).  Off by default: the scan stops at the first blocked job.
   bool easyBackfill = false;
+  /// Cap on how many younger queued jobs one backfill pass offers to the
+  /// policy (SLURM's bf_max_job_test): deep queues otherwise make every
+  /// blocked-head pass O(queue).  0 = unlimited, classic EASY.
+  std::int32_t backfillDepth = 0;
+  /// Invoke `onProgress` every this many processed events (0 = never).
+  std::int64_t progressEvery = 0;
+  std::function<void(const ClusterProgress&)> onProgress{};
 
   static ClusterConfig fromProfile(const net::PlatformProfile& p, std::int32_t nodes) {
     ClusterConfig cfg;
@@ -60,5 +87,11 @@ struct ClusterConfig {
 /// Runs one policy over one workload against one profile table.
 ClusterMetrics simulateCluster(const ClusterConfig& cfg, const Workload& workload,
                                const JobProfileTable& profiles, Policy& policy);
+
+/// The pre-optimization event loop (linear scans, per-query tail sums),
+/// semantically identical to simulateCluster and kept as its oracle and
+/// throughput baseline.  Do not use at scale.
+ClusterMetrics simulateClusterReference(const ClusterConfig& cfg, const Workload& workload,
+                                        const JobProfileTable& profiles, Policy& policy);
 
 } // namespace dps::sched

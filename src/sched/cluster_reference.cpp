@@ -1,9 +1,26 @@
+// The pre-optimization cluster event loop, frozen as an oracle.
+//
+// This is the original simulateCluster implementation: remaining runtimes
+// recomputed as tail sums per query, the EASY shadow-time pass rebuilding
+// and sorting a (finish, nodes) vector scraped from the full jobs_ array on
+// every blocked-head event, mid-deque queue erases.  Per-event cost grows
+// with the total job count, which is exactly why it was replaced — but its
+// semantics are the specification.  sched_test pins the optimized loop to
+// this one bit-for-bit (identical ClusterMetrics JSON across policies,
+// backfill modes and saturation levels) and bench/cluster_scale measures
+// the throughput ratio between the two, so every hot-path optimization
+// stays an optimization, never a behaviour change.
+//
+// Shared semantics added since the split (timeline coalescing via
+// ClusterMetrics::recordUse, the backfillDepth candidate bound, event
+// counting, progress callbacks) are implemented here too, in the same
+// places — the two loops must stay observationally identical.
 #include "sched/cluster.hpp"
 
 #include <algorithm>
 #include <deque>
-#include <set>
-#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "des/scheduler.hpp"
 #include "support/error.hpp"
@@ -12,25 +29,10 @@ namespace dps::sched {
 
 namespace {
 
-/// The whole event loop as one value type: constructed, run, harvested.
-///
-/// Per-event costs are kept independent of the total job count:
-///   * remaining runtime comes from PhaseProfile::remainSec suffix sums
-///     (O(1) instead of a tail sum per query),
-///   * the EASY shadow-time computation walks an ordered multiset of
-///     (estimated finish, nodes) over the *running* jobs, maintained in
-///     O(log running) per phase event, instead of rebuilding and sorting a
-///     vector scraped from the full jobs_ array,
-///   * the queue compacts lazily: backfill removals tombstone their entry
-///     and the head scan pops dead entries on contact, so no O(queue)
-///     mid-deque erases,
-///   * allocation lookups binary-search the ascending feasible list.
-/// simulateClusterReference (cluster_reference.cpp) keeps the original
-/// linear-scan loop; tests pin this implementation to it bit-for-bit.
-class ClusterSim {
+class ClusterSimReference {
 public:
-  ClusterSim(const ClusterConfig& cfg, const Workload& workload, const JobProfileTable& profiles,
-             Policy& policy)
+  ClusterSimReference(const ClusterConfig& cfg, const Workload& workload,
+                      const JobProfileTable& profiles, Policy& policy)
       : cfg_(cfg), workload_(workload), profiles_(profiles), policy_(policy) {
     DPS_CHECK(cfg_.nodes > 0, "cluster needs at least one node");
     DPS_CHECK(cfg_.migrationBandwidthBytesPerSec > 0, "migration bandwidth must be positive");
@@ -69,25 +71,13 @@ public:
   }
 
 private:
-  /// Ordered running-set index: (estimated finish, nodes, job) ascending.
-  /// The job index is a deterministic tiebreak; the (finish, nodes) order
-  /// matches what the reference loop's sort produces, and equal-key jobs
-  /// contribute identically to the shadow-time accumulation.
-  using FinishKey = std::tuple<double, std::int32_t, std::size_t>;
-  using FinishIndex = std::multiset<FinishKey>;
-
   struct JobRt {
     std::int32_t nodes = 0; // current allocation (0 = not running)
     std::int32_t phase = 0; // next phase index
     bool finished = false;
-    bool queued = false; // live queue_ entry (false after start = tombstone)
-    bool inFinishIndex = false;
     /// Profile-estimated finish assuming the current allocation holds —
     /// the running-job knowledge EASY backfill reserves against.
     double estFinishSec = 0;
-    /// Cached &profile.at(nodes) while running.
-    const PhaseProfile* prof = nullptr;
-    FinishIndex::iterator finishIt;
     JobOutcome out;
   };
 
@@ -102,28 +92,11 @@ private:
     v.totalNodes = cfg_.nodes;
     v.freeNodes = free_;
     v.runningJobs = running_;
-    v.queuedJobs = queuedLive_;
+    v.queuedJobs = static_cast<std::int32_t>(queue_.size());
     return v;
   }
 
   void recordUse() { metrics_.recordUse(nowSec(), cfg_.nodes - free_); }
-
-  /// Re-registers job i in the running-set index under its current
-  /// (estFinishSec, nodes); call after either changes.
-  void updateFinishIndex(std::size_t i) {
-    if (!cfg_.easyBackfill) return;
-    JobRt& rt = jobs_[i];
-    if (rt.inFinishIndex) runningByFinish_.erase(rt.finishIt);
-    rt.finishIt = runningByFinish_.insert(FinishKey{rt.estFinishSec, rt.nodes, i});
-    rt.inFinishIndex = true;
-  }
-
-  void dropFinishIndex(std::size_t i) {
-    JobRt& rt = jobs_[i];
-    if (!rt.inFinishIndex) return;
-    runningByFinish_.erase(rt.finishIt);
-    rt.inFinishIndex = false;
-  }
 
   void maybeProgress() {
     if (cfg_.progressEvery <= 0 || !cfg_.onProgress) return;
@@ -135,15 +108,13 @@ private:
     p.totalJobs = static_cast<std::int32_t>(jobs_.size());
     p.simNowSec = nowSec();
     p.runningJobs = running_;
-    p.queuedJobs = queuedLive_;
+    p.queuedJobs = static_cast<std::int32_t>(queue_.size());
     cfg_.onProgress(p);
   }
 
   void onArrival(std::size_t i) {
     ++events_;
-    jobs_[i].queued = true;
     queue_.push_back(i);
-    ++queuedLive_;
     admissionScan();
     maybeProgress();
   }
@@ -153,9 +124,7 @@ private:
   /// capacity-blocked head additionally triggers a backfill pass over the
   /// younger queued jobs.
   void admissionScan() {
-    for (;;) {
-      while (!queue_.empty() && !jobs_[queue_.front()].queued) queue_.pop_front();
-      if (queue_.empty()) return;
+    while (!queue_.empty()) {
       const std::size_t i = queue_.front();
       const ClassProfile& profile = profileOf(i);
       QueuedJobView qv;
@@ -169,8 +138,6 @@ private:
         return;
       }
       queue_.pop_front();
-      jobs_[i].queued = false;
-      --queuedLive_;
       startJob(i, alloc);
     }
   }
@@ -183,11 +150,15 @@ private:
   /// time, or it fits into the `spare` nodes left over once the head
   /// starts.
   void backfillScan(std::int32_t headAlloc) {
+    std::vector<std::pair<double, std::int32_t>> frees; // (est finish, nodes)
+    for (const JobRt& rt : jobs_)
+      if (rt.nodes > 0 && !rt.finished) frees.emplace_back(rt.estFinishSec, rt.nodes);
+    std::sort(frees.begin(), frees.end());
     const double now = nowSec();
     std::int32_t avail = free_;
     double shadow = -1;
     std::int32_t spare = 0;
-    for (const auto& [finish, nodes, idx] : runningByFinish_) {
+    for (const auto& [finish, nodes] : frees) {
       avail += nodes;
       if (avail >= headAlloc) {
         shadow = std::max(finish, now);
@@ -197,32 +168,31 @@ private:
     }
     if (shadow < 0) return; // the head can never fit; nothing to reserve
 
-    bool pastHead = false;
     std::int32_t considered = 0;
-    for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
-      const std::size_t i = queue_[qi];
-      if (!jobs_[i].queued) continue; // tombstone of an already-started job
-      if (!pastHead) {                // the blocked head itself is not a candidate
-        pastHead = true;
-        continue;
-      }
+    for (std::size_t qi = 1; qi < queue_.size();) {
       if (cfg_.backfillDepth > 0 && considered >= cfg_.backfillDepth) break;
       ++considered;
+      const std::size_t i = queue_[qi];
       const ClassProfile& profile = profileOf(i);
       QueuedJobView qv;
       qv.id = jobs_[i].out.id;
       qv.waitedSec = now - jobs_[i].out.arrivalSec;
       const std::int32_t want = policy_.admit(qv, profile, view());
-      if (want <= 0) continue;
-      const std::int32_t alloc = profile.clampFeasible(std::min(want, profile.maxNodes()));
-      if (alloc > free_) continue;
-      const bool finishesInTime = now + profile.at(alloc).totalSec <= shadow + 1e-9;
-      if (!finishesInTime && alloc > spare) continue;
-      if (!finishesInTime) spare -= alloc; // occupies part of the surplus past the shadow
-      jobs_[i].queued = false;
-      --queuedLive_;
-      jobs_[i].out.backfilled = true;
-      startJob(i, alloc);
+      bool started = false;
+      if (want > 0) {
+        const std::int32_t alloc = profile.clampFeasible(std::min(want, profile.maxNodes()));
+        if (alloc <= free_) {
+          const bool finishesInTime = now + profile.at(alloc).totalSec <= shadow + 1e-9;
+          if (finishesInTime || alloc <= spare) {
+            if (!finishesInTime) spare -= alloc; // occupies part of the surplus past the shadow
+            queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+            jobs_[i].out.backfilled = true;
+            startJob(i, alloc);
+            started = true;
+          }
+        }
+      }
+      if (!started) ++qi;
     }
   }
 
@@ -231,18 +201,28 @@ private:
     free_ -= alloc;
     ++running_;
     rt.nodes = alloc;
-    rt.prof = &profileOf(i).at(alloc);
     rt.out.startSec = nowSec();
     recordUse();
     schedulePhase(i);
   }
 
+  /// Profiled runtime of phases [first, phases) at `nodes` — recomputed as
+  /// a tail sum on every query (the O(phases) cost the optimized loop's
+  /// suffix arrays remove).
+  double remainingSec(std::size_t i, std::int32_t first, std::int32_t nodes) const {
+    const PhaseProfile& p = profileOf(i).at(nodes);
+    double rest = 0;
+    for (std::size_t q = static_cast<std::size_t>(first); q < p.phaseSec.size(); ++q)
+      rest += p.phaseSec[q];
+    return rest;
+  }
+
   void schedulePhase(std::size_t i) {
     JobRt& rt = jobs_[i];
+    const PhaseProfile& p = profileOf(i).at(rt.nodes);
     rt.out.allocs.push_back(rt.nodes);
-    rt.estFinishSec = nowSec() + rt.prof->remainingFrom(rt.phase);
-    updateFinishIndex(i);
-    sched_.scheduleAfter(seconds(rt.prof->phaseSec[static_cast<std::size_t>(rt.phase)]),
+    rt.estFinishSec = nowSec() + remainingSec(i, rt.phase, rt.nodes);
+    sched_.scheduleAfter(seconds(p.phaseSec[static_cast<std::size_t>(rt.phase)]),
                          [this, i] { onPhaseEnd(i); });
   }
 
@@ -256,10 +236,8 @@ private:
       --running_;
       ++finished_;
       rt.nodes = 0;
-      rt.prof = nullptr;
       rt.finished = true;
       rt.out.finishSec = nowSec();
-      dropFinishIndex(i);
       recordUse();
       admissionScan();
       maybeProgress();
@@ -271,7 +249,7 @@ private:
     rv.nodes = rt.nodes;
     rv.phase = rt.phase;
     rv.phases = profile.phases();
-    rv.efficiencyNext = rt.prof->phaseEff[static_cast<std::size_t>(rt.phase)];
+    rv.efficiencyNext = profile.at(rt.nodes).phaseEff[static_cast<std::size_t>(rt.phase)];
     std::int32_t target = profile.clampFeasible(policy_.reallocate(rv, profile, view()));
     if (target > rt.nodes) // growth comes out of currently free nodes only
       target = std::min(target, profile.clampFeasible(rt.nodes + free_));
@@ -288,20 +266,14 @@ private:
       free_ -= target - rt.nodes;
     }
     rt.nodes = target;
-    rt.prof = &profile.at(target);
     rt.out.reallocations++;
     rt.out.migratedBytes += bytes;
-    // The admission pass below must observe this job exactly as the
-    // reference loop does: new allocation, estimated finish not yet
-    // refreshed (schedulePhase refreshes it after the migration delay).
-    updateFinishIndex(i);
     recordUse();
     admissionScan(); // shrink may have freed capacity for the queue
     if (cfg_.chargeMigration) {
       const SimDuration delay =
           cfg_.migrationLatency + seconds(bytes / cfg_.migrationBandwidthBytesPerSec);
-      rt.estFinishSec = nowSec() + toSeconds(delay) + rt.prof->remainingFrom(rt.phase);
-      updateFinishIndex(i);
+      rt.estFinishSec = nowSec() + toSeconds(delay) + remainingSec(i, rt.phase, rt.nodes);
       sched_.scheduleAfter(delay, [this, i] { schedulePhase(i); });
     } else {
       schedulePhase(i);
@@ -317,11 +289,9 @@ private:
   des::Scheduler sched_;
   std::deque<std::size_t> queue_;
   std::vector<JobRt> jobs_;
-  FinishIndex runningByFinish_;
   std::int32_t free_ = 0;
   std::int32_t running_ = 0;
   std::int32_t finished_ = 0;
-  std::int32_t queuedLive_ = 0;
   std::int64_t events_ = 0;
   std::int64_t lastProgressEvents_ = 0;
   ClusterMetrics metrics_;
@@ -329,9 +299,9 @@ private:
 
 } // namespace
 
-ClusterMetrics simulateCluster(const ClusterConfig& cfg, const Workload& workload,
-                               const JobProfileTable& profiles, Policy& policy) {
-  return ClusterSim(cfg, workload, profiles, policy).run();
+ClusterMetrics simulateClusterReference(const ClusterConfig& cfg, const Workload& workload,
+                                        const JobProfileTable& profiles, Policy& policy) {
+  return ClusterSimReference(cfg, workload, profiles, policy).run();
 }
 
 } // namespace dps::sched

@@ -126,6 +126,7 @@ PhaseProfile phaseProfileFromRecord(const EngineRunRecord& rec, std::int32_t nod
   p.totalSec = rec.totalSec;
   p.phaseSec = rec.phaseSec;
   p.phaseEff = rec.phaseEff;
+  p.finalizeRemaining();
   return p;
 }
 

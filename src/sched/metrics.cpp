@@ -16,6 +16,21 @@ namespace {
 std::string fmt(double v) { return jsonDouble(v); }
 } // namespace
 
+void ClusterMetrics::recordUse(double timeSec, std::int32_t usedNodes) {
+  if (!timeline.empty() && timeline.back().timeSec == timeSec) {
+    // Same instant: the previous point is zero-width; keep only the final
+    // value, and drop the point entirely if the value ends up unchanged.
+    if (timeline.size() >= 2 && timeline[timeline.size() - 2].usedNodes == usedNodes) {
+      timeline.pop_back();
+      return;
+    }
+    timeline.back().usedNodes = usedNodes;
+    return;
+  }
+  if (!timeline.empty() && timeline.back().usedNodes == usedNodes) return;
+  timeline.push_back(UtilizationPoint{timeSec, usedNodes});
+}
+
 void ClusterMetrics::finalize() {
   makespanSec = 0;
   meanSlowdown = maxSlowdown = meanWaitSec = migratedBytes = 0;
@@ -47,7 +62,7 @@ void ClusterMetrics::finalize() {
   }
 }
 
-void ClusterMetrics::writeJson(std::ostream& os) const {
+void ClusterMetrics::writeJson(std::ostream& os, std::int32_t timelineMaxPoints) const {
   JsonWriter w(os);
   w.beginObject()
       .field("policy", policy)
@@ -59,7 +74,9 @@ void ClusterMetrics::writeJson(std::ostream& os) const {
       .field("max_slowdown", maxSlowdown)
       .field("mean_wait_sec", meanWaitSec)
       .field("migrated_bytes", migratedBytes)
-      .field("reallocations", reallocations);
+      .field("reallocations", reallocations)
+      .field("events", events)
+      .field("timeline_points", static_cast<std::uint64_t>(timeline.size()));
   w.key("jobs").beginArray();
   for (const JobOutcome& j : jobs) {
     w.beginObject()
@@ -80,15 +97,30 @@ void ClusterMetrics::writeJson(std::ostream& os) const {
   }
   w.endArray();
   w.key("timeline").beginArray();
-  for (const auto& t : timeline)
-    w.beginObject().field("t", t.timeSec).field("used", t.usedNodes).endObject();
+  const std::size_t n = timeline.size();
+  const std::size_t cap = timelineMaxPoints > 0 ? static_cast<std::size_t>(timelineMaxPoints) : n;
+  if (n <= cap) {
+    for (const auto& t : timeline)
+      w.beginObject().field("t", t.timeSec).field("used", t.usedNodes).endObject();
+  } else {
+    // Evenly strided down-sample that always keeps the first and last
+    // points; duplicate picks (cap close to n) collapse.
+    std::size_t last = n; // sentinel: nothing emitted yet
+    for (std::size_t k = 0; k < cap; ++k) {
+      const std::size_t idx = cap == 1 ? 0 : k * (n - 1) / (cap - 1);
+      if (idx == last) continue;
+      last = idx;
+      w.beginObject().field("t", timeline[idx].timeSec).field("used", timeline[idx].usedNodes)
+          .endObject();
+    }
+  }
   w.endArray().endObject();
   DPS_CHECK(w.closed(), "unbalanced cluster-metrics JSON");
 }
 
-std::string ClusterMetrics::jsonString() const {
+std::string ClusterMetrics::jsonString(std::int32_t timelineMaxPoints) const {
   std::ostringstream os;
-  writeJson(os);
+  writeJson(os, timelineMaxPoints);
   return os.str();
 }
 

@@ -45,6 +45,15 @@ struct ClusterMetrics {
 
   std::vector<JobOutcome> jobs;
   std::vector<UtilizationPoint> timeline;
+  /// Events the cluster loop processed (arrivals + phase boundaries) —
+  /// the numerator of the bench layer's events/sec throughput.
+  std::int64_t events = 0;
+
+  /// Appends a utilization change, coalescing: consecutive points with the
+  /// same used count merge, and several changes at the same instant keep
+  /// only the final value (zero-width segments carry no information and no
+  /// integral).  Memory stays O(distinct changes), not O(events).
+  void recordUse(double timeSec, std::int32_t usedNodes);
 
   // Aggregates (filled by finalize()).
   double makespanSec = 0;    // last job finish
@@ -59,9 +68,12 @@ struct ClusterMetrics {
   void finalize();
 
   /// {"policy":...,"nodes":...,"makespan_sec":...,"jobs":[...],
-  ///  "timeline":[...]}
-  void writeJson(std::ostream& os) const;
-  std::string jsonString() const;
+  ///  "timeline":[...]}.  `timelineMaxPoints` > 0 down-samples the emitted
+  /// timeline to at most that many points (first and last always kept;
+  /// "timeline_points" reports the full resolution either way); 0 emits
+  /// every point.
+  void writeJson(std::ostream& os, std::int32_t timelineMaxPoints = 0) const;
+  std::string jsonString(std::int32_t timelineMaxPoints = 0) const;
   /// One row per job, header included.
   void writeCsv(std::ostream& os) const;
 };

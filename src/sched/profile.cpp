@@ -1,6 +1,7 @@
 #include "sched/profile.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "sched/engine_run.hpp"
@@ -20,26 +21,50 @@ std::uint64_t ProfileSettings::fingerprint() const {
   return fp.value();
 }
 
+void PhaseProfile::finalizeRemaining() {
+  const std::size_t n = phaseSec.size();
+  remainSec.assign(n, 0.0);
+  // Each entry is its own left-to-right accumulation, not a shared backward
+  // sweep: a backward sweep rounds differently, and remainingFrom() promises
+  // bitwise equality with summing the tail directly.  O(phases^2) once per
+  // profile, with phases in the tens.
+  for (std::size_t i = 0; i < n; ++i) {
+    double rest = 0;
+    for (std::size_t q = i; q < n; ++q) rest += phaseSec[q];
+    remainSec[i] = rest;
+  }
+}
+
+double PhaseProfile::remainingFrom(std::int32_t phase) const {
+  const std::size_t first = static_cast<std::size_t>(std::max<std::int32_t>(phase, 0));
+  if (first >= phaseSec.size()) return 0;
+  if (!remainSec.empty()) return remainSec[first];
+  double rest = 0;
+  for (std::size_t q = first; q < phaseSec.size(); ++q) rest += phaseSec[q];
+  return rest;
+}
+
 std::int32_t ClassProfile::phases() const {
   DPS_CHECK(!byAlloc.empty(), "empty class profile");
   return static_cast<std::int32_t>(byAlloc.front().phaseSec.size());
 }
 
 const PhaseProfile& ClassProfile::at(std::int32_t nodes) const {
-  for (std::size_t i = 0; i < allocs.size(); ++i)
-    if (allocs[i] == nodes) return byAlloc[i];
-  throw Error("no profile for " + name + " at " + std::to_string(nodes) + " nodes");
+  const auto it = std::lower_bound(allocs.begin(), allocs.end(), nodes);
+  if (it == allocs.end() || *it != nodes)
+    throw Error("no profile for " + name + " at " + std::to_string(nodes) + " nodes");
+  return byAlloc[static_cast<std::size_t>(it - allocs.begin())];
 }
 
 bool ClassProfile::feasible(std::int32_t nodes) const {
-  return std::find(allocs.begin(), allocs.end(), nodes) != allocs.end();
+  return std::binary_search(allocs.begin(), allocs.end(), nodes);
 }
 
 std::int32_t ClassProfile::clampFeasible(std::int32_t want) const {
-  std::int32_t best = allocs.front();
-  for (std::int32_t a : allocs)
-    if (a <= want) best = a;
-  return best;
+  // First allocation strictly above `want`; the one before it (if any) is
+  // the largest feasible <= want.
+  const auto it = std::upper_bound(allocs.begin(), allocs.end(), want);
+  return it == allocs.begin() ? allocs.front() : *(it - 1);
 }
 
 double ClassProfile::bestSec() const {
@@ -82,10 +107,112 @@ double ClassProfile::migrationBytes(std::int32_t phase, std::int32_t from, std::
   return colBytes * moved;
 }
 
+std::int32_t InterpolatedProfile::autoAnchorCount(std::size_t levels) {
+  if (levels <= 5) return static_cast<std::int32_t>(levels);
+  const std::int32_t quarter = static_cast<std::int32_t>(levels / 4);
+  return std::clamp<std::int32_t>(quarter, 3, 8);
+}
+
+std::vector<std::int32_t> InterpolatedProfile::pickAnchors(const std::vector<std::int32_t>& allocs,
+                                                           std::int32_t count) {
+  DPS_CHECK(!allocs.empty(), "pickAnchors on empty allocation list");
+  const std::size_t n = allocs.size();
+  if (count >= static_cast<std::int32_t>(n) || n <= 2) return allocs;
+  count = std::max<std::int32_t>(count, 2);
+
+  std::vector<bool> chosen(n, false);
+  chosen.front() = chosen.back() = true;
+  const double lnLo = std::log(static_cast<double>(allocs.front()));
+  const double lnHi = std::log(static_cast<double>(allocs.back()));
+  for (std::int32_t k = 1; k + 1 < count; ++k) {
+    // Ideal k-th interior anchor in log-allocation space, snapped to the
+    // nearest not-yet-chosen feasible level (lowest index on ties).
+    const double target = lnLo + (lnHi - lnLo) * static_cast<double>(k) / (count - 1);
+    std::size_t best = n;
+    double bestDist = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (chosen[i]) continue;
+      const double dist = std::abs(std::log(static_cast<double>(allocs[i])) - target);
+      if (best == n || dist < bestDist) {
+        best = i;
+        bestDist = dist;
+      }
+    }
+    if (best < n) chosen[best] = true;
+  }
+
+  std::vector<std::int32_t> anchors;
+  for (std::size_t i = 0; i < n; ++i)
+    if (chosen[i]) anchors.push_back(allocs[i]);
+  return anchors;
+}
+
+InterpolatedProfile InterpolatedProfile::fit(ClassProfile anchored) {
+  DPS_CHECK(!anchored.allocs.empty(), "interpolation needs at least one anchor");
+  DPS_CHECK(anchored.allocs.size() == anchored.byAlloc.size(),
+            "anchor allocations and profiles disagree for " + anchored.name);
+  DPS_CHECK(std::is_sorted(anchored.allocs.begin(), anchored.allocs.end()),
+            "anchor allocations must be ascending for " + anchored.name);
+  for (PhaseProfile& p : anchored.byAlloc) {
+    DPS_CHECK(p.phaseSec.size() == anchored.byAlloc.front().phaseSec.size(),
+              "inconsistent phase count across anchors of " + anchored.name);
+    if (p.remainSec.empty()) p.finalizeRemaining();
+  }
+  InterpolatedProfile ip;
+  ip.anchored_ = std::move(anchored);
+  return ip;
+}
+
+PhaseProfile InterpolatedProfile::at(std::int32_t nodes) const {
+  const std::vector<std::int32_t>& as = anchored_.allocs;
+  const std::int32_t clamped = std::clamp(nodes, as.front(), as.back());
+  const auto it = std::lower_bound(as.begin(), as.end(), clamped);
+  if (it != as.end() && *it == clamped) {
+    // Anchor: the stored engine profile, bit-for-bit (only relabelled when
+    // the query was outside the anchor range).
+    PhaseProfile p = anchored_.byAlloc[static_cast<std::size_t>(it - as.begin())];
+    p.nodes = nodes;
+    return p;
+  }
+  const std::size_t hi = static_cast<std::size_t>(it - as.begin());
+  const std::size_t lo = hi - 1;
+  const PhaseProfile& p0 = anchored_.byAlloc[lo];
+  const PhaseProfile& p1 = anchored_.byAlloc[hi];
+  const double t = (std::log(static_cast<double>(clamped)) - std::log(static_cast<double>(as[lo]))) /
+                   (std::log(static_cast<double>(as[hi])) - std::log(static_cast<double>(as[lo])));
+
+  PhaseProfile out;
+  out.nodes = nodes;
+  const std::size_t phases = p0.phaseSec.size();
+  out.phaseSec.resize(phases);
+  out.phaseEff.resize(phases);
+  for (std::size_t q = 0; q < phases; ++q) {
+    const double d0 = p0.phaseSec[q];
+    const double d1 = p1.phaseSec[q];
+    // Power law between the bracketing anchors: linear in (log nodes,
+    // log seconds).  Degenerate (non-positive) durations fall back to
+    // linear so the synthesis never produces NaNs.
+    out.phaseSec[q] = (d0 > 0 && d1 > 0) ? std::exp((1.0 - t) * std::log(d0) + t * std::log(d1))
+                                         : (1.0 - t) * d0 + t * d1;
+    out.phaseEff[q] = std::clamp((1.0 - t) * p0.phaseEff[q] + t * p1.phaseEff[q], 0.0, 1.0);
+    out.totalSec += out.phaseSec[q];
+  }
+  out.finalizeRemaining();
+  return out;
+}
+
+ClassProfile InterpolatedProfile::synthesize(ClassProfile skeleton) const {
+  skeleton.byAlloc.clear();
+  skeleton.byAlloc.reserve(skeleton.allocs.size());
+  for (std::int32_t a : skeleton.allocs) skeleton.byAlloc.push_back(at(a));
+  return skeleton;
+}
+
 JobProfileTable JobProfileTable::build(
     const std::vector<JobClass>& classes, std::int32_t clusterNodes,
     const ProfileSettings& settings, unsigned jobs,
-    const std::function<EngineRunRecord(const EngineRunSpec&)>& runner) {
+    const std::function<EngineRunRecord(const EngineRunSpec&)>& runner,
+    const ProfileBuildOptions& options) {
   DPS_CHECK(!classes.empty(), "profile table needs at least one job class");
   JobProfileTable table;
   struct Slot {
@@ -93,14 +220,33 @@ JobProfileTable JobProfileTable::build(
     std::int32_t nodes;
   };
   std::vector<Slot> slots;
+  std::vector<ClassProfile> skeletons; // full feasible-allocation lists
   for (std::size_t c = 0; c < classes.size(); ++c) {
-    ClassProfile cp = classProfileSkeleton(classes[c], clusterNodes);
-    for (std::int32_t a : cp.allocs) slots.push_back(Slot{c, a});
-    table.classes_.push_back(std::move(cp));
+    ClassProfile full = classProfileSkeleton(classes[c], clusterNodes);
+    table.info_.profiledAllocs += full.allocs.size();
+
+    // The class's engine-run plan: every feasible allocation when exact,
+    // only the anchors when interpolating.  A budget covering every level
+    // degenerates to the exact build, so small tables are identical both
+    // ways.
+    ClassProfile anchored = full;
+    if (options.interpolate) {
+      const std::int32_t levels = static_cast<std::int32_t>(full.allocs.size());
+      const std::int32_t budget =
+          options.anchors > 0 ? std::clamp(options.anchors, 2, levels)
+                              : InterpolatedProfile::autoAnchorCount(full.allocs.size());
+      anchored.allocs = InterpolatedProfile::pickAnchors(full.allocs, budget);
+      anchored.byAlloc.resize(anchored.allocs.size());
+    }
+    for (std::int32_t a : anchored.allocs) slots.push_back(Slot{c, a});
+    skeletons.push_back(std::move(full));
+    table.classes_.push_back(std::move(anchored));
   }
+  table.info_.engineRunPoints = slots.size();
 
   // Independent single-threaded simulations into index-addressed slots:
   // identical tables at any `jobs` value.
+  std::atomic<std::size_t> done{0};
   parallelFor(slots.size(), jobs, [&](std::size_t i) {
     ClassProfile& cp = table.classes_[slots[i].klass];
     const std::size_t ai = static_cast<std::size_t>(
@@ -109,7 +255,16 @@ JobProfileTable JobProfileTable::build(
         profileRunSpec(classes[slots[i].klass], slots[i].nodes, settings);
     cp.byAlloc[ai] =
         phaseProfileFromRecord(runner ? runner(spec) : executeEngineRun(spec), slots[i].nodes);
+    if (options.onRunDone) options.onRunDone(done.fetch_add(1) + 1, slots.size());
   });
+
+  // Classes whose anchor plan skipped levels get the rest synthesized from
+  // the fitted curves; anchor entries keep their engine profiles verbatim.
+  for (std::size_t c = 0; c < table.classes_.size(); ++c) {
+    if (table.classes_[c].allocs.size() == skeletons[c].allocs.size()) continue;
+    const InterpolatedProfile ip = InterpolatedProfile::fit(std::move(table.classes_[c]));
+    table.classes_[c] = ip.synthesize(std::move(skeletons[c]));
+  }
 
   for (const ClassProfile& cp : table.classes_) {
     for (const PhaseProfile& p : cp.byAlloc) {

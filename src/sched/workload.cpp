@@ -31,9 +31,14 @@ bool JobClass::feasibleAt(std::int32_t workers) const {
 std::vector<std::int32_t> feasibleAllocations(const JobClass& klass, std::int32_t clusterNodes) {
   const std::int32_t cap = std::min(klass.maxNodes(), clusterNodes);
   std::vector<std::int32_t> allocs;
-  for (std::int32_t w = 1; w <= cap; w *= 2)
-    if (klass.feasibleAt(w)) allocs.push_back(w);
-  if (klass.feasibleAt(cap) && (allocs.empty() || allocs.back() != cap)) allocs.push_back(cap);
+  if (klass.denseAllocs) {
+    for (std::int32_t w = 1; w <= cap; ++w)
+      if (klass.feasibleAt(w)) allocs.push_back(w);
+  } else {
+    for (std::int32_t w = 1; w <= cap; w *= 2)
+      if (klass.feasibleAt(w)) allocs.push_back(w);
+    if (klass.feasibleAt(cap) && (allocs.empty() || allocs.back() != cap)) allocs.push_back(cap);
+  }
   DPS_CHECK(!allocs.empty(), "job class " + klass.name + " cannot run on this cluster");
   return allocs;
 }
@@ -122,6 +127,66 @@ std::vector<JobClass> Workload::defaultMix(std::int32_t clusterNodes) {
     k.jacobi.sweeps = 24;
     k.jacobi.seed = 11;
     k.jacobi.workers = std::min(pow2, 4);
+    k.weight = 1.5;
+    classes.push_back(k);
+  }
+  return classes;
+}
+
+std::vector<JobClass> Workload::scaledMix(std::int32_t clusterNodes) {
+  DPS_CHECK(clusterNodes >= 2, "scaled mix needs a cluster of at least two nodes");
+  const auto clamp = [&](std::int32_t want) { return std::min(want, clusterNodes); };
+
+  std::vector<JobClass> classes;
+  {
+    // Up to 64 malleability levels (every worker count 1..64).
+    JobClass k;
+    k.name = "lu-band";
+    k.app = AppKind::Lu;
+    k.lu.n = 2592;
+    k.lu.r = 81; // 32 phases
+    k.lu.seed = 20060425;
+    k.lu.workers = clamp(64);
+    k.denseAllocs = true;
+    k.weight = 1.0;
+    classes.push_back(k);
+  }
+  {
+    JobClass k;
+    k.name = "lu-sheet";
+    k.app = AppKind::Lu;
+    k.lu.n = 1296;
+    k.lu.r = 81; // 16 phases, up to 16 dense levels
+    k.lu.seed = 20060425;
+    k.lu.workers = clamp(16);
+    k.denseAllocs = true;
+    k.weight = 1.0;
+    classes.push_back(k);
+  }
+  {
+    // 720 is divisor-rich: 29 feasible strip counts between 2 and 720.
+    JobClass k;
+    k.name = "jacobi-field";
+    k.app = AppKind::Jacobi;
+    k.jacobi.rows = 720;
+    k.jacobi.cols = 720;
+    k.jacobi.sweeps = 24;
+    k.jacobi.seed = 11;
+    k.jacobi.workers = clamp(720);
+    k.denseAllocs = true;
+    k.weight = 1.5;
+    classes.push_back(k);
+  }
+  {
+    JobClass k;
+    k.name = "jacobi-strip";
+    k.app = AppKind::Jacobi;
+    k.jacobi.rows = 240;
+    k.jacobi.cols = 240;
+    k.jacobi.sweeps = 12;
+    k.jacobi.seed = 11;
+    k.jacobi.workers = clamp(30); // 13 divisor levels between 2 and 30
+    k.denseAllocs = true;
     k.weight = 1.5;
     classes.push_back(k);
   }

@@ -28,6 +28,12 @@ struct JobClass {
   lu::LuConfig lu{};
   jacobi::JacobiConfig jacobi{};
   double weight = 1.0;
+  /// When set, feasibleAllocations() returns *every* feasible worker count
+  /// up to the class maximum (LU: every integer; Jacobi: every divisor of
+  /// the grid rows) instead of just the powers of two.  Dense classes are
+  /// what make profile interpolation pay: tens of malleability levels from
+  /// a handful of anchor engine runs.
+  bool denseAllocs = false;
 
   /// The allocation the job asks for when rigid.
   std::int32_t maxNodes() const { return app == AppKind::Lu ? lu.workers : jacobi.workers; }
@@ -41,7 +47,8 @@ struct JobClass {
 
 /// Ascending malleability levels a job of this class can run at on a
 /// cluster of `clusterNodes`: the feasible powers of two plus the class's
-/// requested maximum.  Bounded so profiling one class stays cheap.
+/// requested maximum (bounded so exhaustive profiling stays cheap), or all
+/// feasible counts for denseAllocs classes.
 std::vector<std::int32_t> feasibleAllocations(const JobClass& klass, std::int32_t clusterNodes);
 
 /// One arriving job.
@@ -72,6 +79,13 @@ struct Workload {
   /// The bench/tool default mix: two LU classes (wide/small) and two Jacobi
   /// stencil classes (hot/thin), workers clamped to the cluster size.
   static std::vector<JobClass> defaultMix(std::int32_t clusterNodes);
+
+  /// The large-machine mix (--mix scaled): the same four-way LU/Jacobi
+  /// shape but denseAllocs classes that are malleable across every feasible
+  /// worker count — up to 64 LU levels and every grid-divisor Jacobi strip
+  /// count.  Exhaustive profiling of this mix is exactly the scaling wall
+  /// interpolated tables remove.
+  static std::vector<JobClass> scaledMix(std::int32_t clusterNodes);
 
   std::string describe() const;
 };

@@ -135,16 +135,18 @@ sched::ClassProfile acquireProfile(const sched::ProfileSettings& settings,
 
 sched::JobProfileTable buildProfileTable(const std::vector<sched::JobClass>& classes,
                                          std::int32_t clusterNodes,
-                                         const sched::ProfileSettings& settings, unsigned jobs) {
-  return buildProfileTable(classes, clusterNodes, settings, jobs, instance());
+                                         const sched::ProfileSettings& settings, unsigned jobs,
+                                         const sched::ProfileBuildOptions& options) {
+  return buildProfileTable(classes, clusterNodes, settings, jobs, instance(), options);
 }
 
 sched::JobProfileTable buildProfileTable(const std::vector<sched::JobClass>& classes,
                                          std::int32_t clusterNodes,
                                          const sched::ProfileSettings& settings, unsigned jobs,
-                                         ProfileCache& cache) {
-  return sched::JobProfileTable::build(classes, clusterNodes, settings, jobs,
-                                       cachedRunner(cache));
+                                         ProfileCache& cache,
+                                         const sched::ProfileBuildOptions& options) {
+  return sched::JobProfileTable::build(classes, clusterNodes, settings, jobs, cachedRunner(cache),
+                                       options);
 }
 
 } // namespace dps::svc

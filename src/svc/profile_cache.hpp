@@ -118,14 +118,17 @@ sched::ClassProfile acquireProfile(const sched::ProfileSettings& settings,
                                    ProfileCache& cache);
 
 /// Full profile table through the cache (the consumers' replacement for
-/// JobProfileTable::build).
+/// JobProfileTable::build).  `options` selects interpolated vs exhaustive
+/// construction; with interpolation only the anchor allocations reach the
+/// cache (and hence the engine) — synthesized entries cost no lookups.
 sched::JobProfileTable buildProfileTable(const std::vector<sched::JobClass>& classes,
                                          std::int32_t clusterNodes,
-                                         const sched::ProfileSettings& settings,
-                                         unsigned jobs = 1);
+                                         const sched::ProfileSettings& settings, unsigned jobs = 1,
+                                         const sched::ProfileBuildOptions& options = {});
 sched::JobProfileTable buildProfileTable(const std::vector<sched::JobClass>& classes,
                                          std::int32_t clusterNodes,
                                          const sched::ProfileSettings& settings, unsigned jobs,
-                                         ProfileCache& cache);
+                                         ProfileCache& cache,
+                                         const sched::ProfileBuildOptions& options = {});
 
 } // namespace dps::svc

@@ -168,6 +168,39 @@ TEST(AcquireProfileTest, RepeatAcquisitionIsAllHits) {
     EXPECT_EQ(first.byAlloc[i].totalSec, second.byAlloc[i].totalSec);
 }
 
+TEST(AcquireProfileTest, InterpolatedBuildRunsOnlyAnchorSimulations) {
+  // A 12-level dense class through the cache: the default (interpolating)
+  // build must execute exactly autoAnchorCount(12) = 3 engine runs yet
+  // produce all 12 profile entries; --exact-profiles runs all 12.
+  sched::JobClass dense = tinyMix()[0];
+  dense.lu.workers = 12;
+  dense.denseAllocs = true;
+  const sched::ProfileSettings settings;
+
+  ProfileCache interpCache;
+  const auto interp = buildProfileTable({dense}, 12, settings, 1, interpCache);
+  EXPECT_EQ(interpCache.stats().engineRuns, 3u);
+  EXPECT_EQ(interp.buildInfo().engineRunPoints, 3u);
+  EXPECT_EQ(interp.buildInfo().profiledAllocs, 12u);
+  EXPECT_DOUBLE_EQ(interp.buildInfo().runReduction(), 4.0);
+  ASSERT_EQ(interp.of(0).allocs.size(), 12u);
+
+  ProfileCache exactCache;
+  sched::ProfileBuildOptions exact;
+  exact.interpolate = false;
+  const auto full = buildProfileTable({dense}, 12, settings, 1, exactCache, exact);
+  EXPECT_EQ(exactCache.stats().engineRuns, 12u);
+  EXPECT_DOUBLE_EQ(full.buildInfo().runReduction(), 1.0);
+
+  // The interpolating build's anchor entries are the exhaustive build's
+  // engine profiles bit-for-bit (same cache keys, same records).
+  for (std::int32_t a : sched::InterpolatedProfile::pickAnchors(
+           full.of(0).allocs, sched::InterpolatedProfile::autoAnchorCount(12))) {
+    EXPECT_EQ(interp.of(0).at(a).totalSec, full.of(0).at(a).totalSec) << a;
+    EXPECT_EQ(interp.of(0).at(a).phaseSec, full.of(0).at(a).phaseSec) << a;
+  }
+}
+
 // The acceptance property of the PR: with one cache behind both the profile
 // build and the replay pass, `dps_cluster --replay` issues strictly fewer
 // engine runs than lookups — static replays are pure cache hits.

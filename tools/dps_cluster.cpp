@@ -15,13 +15,22 @@
 // profile-table predictions are scored against it — closing the prediction
 // loop the way the paper validates PDEXEC against direct execution.
 //
+// Profile tables are interpolated by default: only anchor allocations run
+// on the engine, the rest are synthesized (sched::InterpolatedProfile), and
+// --exact-profiles restores the exhaustive build.  Large runs: --mix scaled
+// for the dense-malleability workload, --progress for wall-clock/ETA lines,
+// --timeline-max to down-sample the JSON utilization timeline.
+//
 //   $ dps_cluster --nodes 8 --policy equipartition --seed 1
 //   $ dps_cluster --nodes 8 --policy grow-eager --backfill --replay
+//   $ dps_cluster --nodes 4096 --job-count 100000 --mix scaled --progress
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "sched/cluster.hpp"
@@ -51,14 +60,20 @@ std::string describeAllocs(const std::vector<std::int32_t>& allocs) {
   return os.str();
 }
 
+double elapsedSec(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since).count();
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   std::int64_t nodes = 0, seed = 0, jobCount = 0, jobs = 0;
+  std::int64_t anchors = 0, timelineMax = 0, backfillDepth = 0;
   double arrivalRate = 0, threshold = 0;
-  std::string policyName, jsonPath;
+  std::string policyName, jsonPath, mixName;
   bool smoke = false, backfill = false, replay = false;
+  bool exactProfiles = false, progress = false;
   try {
     nodes = cli.integer("nodes", 8, "cluster size in nodes");
     policyName =
@@ -70,6 +85,20 @@ int main(int argc, char** argv) {
     threshold = cli.real("threshold", 0.5, "efficiency-shrink release threshold");
     jobs = cli.integer("jobs", 0, "concurrent profile simulations (0 = hardware concurrency)");
     jsonPath = cli.str("json", "", "write the full report to this JSON file");
+    mixName = cli.str("mix", "default",
+                      "job mix: default | scaled (dense malleability levels for large machines)");
+    anchors = cli.integer("anchors", 0,
+                          "anchor engine runs per class for interpolated profiles (0 = auto)");
+    timelineMax = cli.integer("timeline-max", 0,
+                              "down-sample each policy's JSON utilization timeline to at most "
+                              "this many points (0 = full resolution)");
+    backfillDepth = cli.integer("backfill-depth", 0,
+                                "max queued jobs one backfill pass examines (0 = unlimited)");
+    exactProfiles = cli.flag("exact-profiles",
+                             "run every (class x allocation) point on the engine instead of "
+                             "interpolating between anchors (today's exhaustive behavior)");
+    progress = cli.flag("progress", "wall-clock/ETA progress on stderr for profile builds "
+                                    "and event loops");
     backfill = cli.flag("backfill", "EASY backfill on the admission scan (all policies)");
     replay = cli.flag("replay", "replay the primary policy's allocation histories in-engine "
                                 "and report prediction errors");
@@ -84,6 +113,11 @@ int main(int argc, char** argv) {
     if (jobs < 0 || jobs > 4096) throw ConfigError("--jobs must be in [0, 4096]");
     if (arrivalRate <= 0) throw ConfigError("--arrival-rate must be positive");
     if (threshold <= 0 || threshold >= 1) throw ConfigError("--threshold must be in (0, 1)");
+    if (mixName != "default" && mixName != "scaled")
+      throw ConfigError("--mix must be default or scaled");
+    if (anchors < 0 || anchors > 4096) throw ConfigError("--anchors must be in [0, 4096]");
+    if (timelineMax < 0) throw ConfigError("--timeline-max must be >= 0");
+    if (backfillDepth < 0) throw ConfigError("--backfill-depth must be >= 0");
     sched::makePolicy(policyName); // validates the name
   } catch (const Error& e) {
     std::fprintf(stderr, "%s\n%s", e.what(), cli.helpText().c_str());
@@ -94,23 +128,52 @@ int main(int argc, char** argv) {
   wcfg.seed = static_cast<std::uint64_t>(seed);
   wcfg.jobCount = smoke ? 6 : static_cast<std::int32_t>(jobCount);
   wcfg.arrivalRatePerSec = arrivalRate;
+  if (mixName == "scaled")
+    wcfg.classes = sched::Workload::scaledMix(static_cast<std::int32_t>(nodes));
   const auto workload =
       sched::Workload::generate(wcfg, static_cast<std::int32_t>(nodes));
   std::printf("workload: %s\n", workload.describe().c_str());
 
   const sched::ProfileSettings settings;
-  std::size_t sims = 0;
+  std::size_t allocPoints = 0;
   for (const auto& k : workload.cfg.classes)
-    sims += sched::feasibleAllocations(k, static_cast<std::int32_t>(nodes)).size();
-  std::printf("profiling %zu (class x allocation) points on the DPS engine (--jobs %lld)...\n",
-              sims, static_cast<long long>(jobs));
+    allocPoints += sched::feasibleAllocations(k, static_cast<std::int32_t>(nodes)).size();
+  std::printf("profiling %zu (class x allocation) points %s on the DPS engine (--jobs %lld)...\n",
+              allocPoints, exactProfiles ? "exhaustively" : "via anchor interpolation",
+              static_cast<long long>(jobs));
+
+  sched::ProfileBuildOptions popts;
+  popts.interpolate = !exactProfiles;
+  popts.anchors = static_cast<std::int32_t>(anchors);
+  const auto buildStart = std::chrono::steady_clock::now();
+  std::mutex progressMu;
+  auto lastPrint = buildStart;
+  if (progress) {
+    popts.onRunDone = [&](std::size_t done, std::size_t planned) {
+      std::lock_guard<std::mutex> lock(progressMu);
+      const auto now = std::chrono::steady_clock::now();
+      if (done != planned && std::chrono::duration<double>(now - lastPrint).count() < 0.5) return;
+      lastPrint = now;
+      const double elapsed = elapsedSec(buildStart);
+      const double eta = done > 0 ? elapsed / static_cast<double>(done) *
+                                        static_cast<double>(planned - done)
+                                  : 0.0;
+      std::fprintf(stderr, "profile build: %zu/%zu engine runs, %.1fs elapsed, ETA %.1fs\n",
+                   done, planned, elapsed, eta);
+    };
+  }
   // One cache serves the profile build and (with --replay) the replay pass:
   // static histories replay the exact spec the profile build simulated, so
   // those runs are hits instead of fresh engine executions.
   svc::ProfileCache cache;
   const auto profiles =
       svc::buildProfileTable(workload.cfg.classes, static_cast<std::int32_t>(nodes), settings,
-                             static_cast<unsigned>(jobs), cache);
+                             static_cast<unsigned>(jobs), cache, popts);
+  const auto& binfo = profiles.buildInfo();
+  std::printf("profile table: %zu engine runs for %zu allocation points (%.1fx reduction, "
+              "%.1fs)\n",
+              binfo.engineRunPoints, binfo.profiledAllocs, binfo.runReduction(),
+              elapsedSec(buildStart));
 
   Table prof("job profiles (per-phase model from PDEXEC runs)");
   prof.header({"class", "allocs", "phases", "best [s]", "state [MB]"});
@@ -126,12 +189,33 @@ int main(int argc, char** argv) {
   auto ccfg =
       sched::ClusterConfig::fromProfile(settings.platform, static_cast<std::int32_t>(nodes));
   ccfg.easyBackfill = backfill;
+  ccfg.backfillDepth = static_cast<std::int32_t>(backfillDepth);
   std::vector<sched::ClusterMetrics> results;
   for (const std::string& name : sched::policyNames()) {
     auto policy = name == "efficiency-shrink"
                       ? std::make_unique<sched::EfficiencyShrink>(threshold)
                       : sched::makePolicy(name);
+    const auto loopStart = std::chrono::steady_clock::now();
+    if (progress) {
+      // Roughly one line per ~2% of jobs, with a floor so small runs stay
+      // quiet and huge runs aren't spammed per event.
+      ccfg.progressEvery = std::max<std::int64_t>(5000, workload.jobs.size());
+      ccfg.onProgress = [&, name](const sched::ClusterProgress& p) {
+        const double elapsed = elapsedSec(loopStart);
+        const double eta = p.finishedJobs > 0
+                               ? elapsed / p.finishedJobs * (p.totalJobs - p.finishedJobs)
+                               : 0.0;
+        std::fprintf(stderr,
+                     "%s: %d/%d jobs done (%d running, %d queued), %lld events, sim "
+                     "t=%.0fs, %.1fs elapsed, ETA %.1fs\n",
+                     name.c_str(), p.finishedJobs, p.totalJobs, p.runningJobs, p.queuedJobs,
+                     static_cast<long long>(p.events), p.simNowSec, elapsed, eta);
+      };
+    }
     results.push_back(sched::simulateCluster(ccfg, workload, profiles, *policy));
+    if (progress)
+      std::fprintf(stderr, "%s: done in %.1fs (%lld events)\n", name.c_str(),
+                   elapsedSec(loopStart), static_cast<long long>(results.back().events));
   }
 
   // Ranked comparison: best mean slowdown first.
@@ -217,9 +301,13 @@ int main(int argc, char** argv) {
         .field("job_count", workload.jobs.size())
         .field("arrival_rate", arrivalRate)
         .field("primary", policyName)
+        .field("mix", mixName)
+        .field("exact_profiles", exactProfiles)
+        .field("profile_engine_runs", static_cast<std::uint64_t>(binfo.engineRunPoints))
+        .field("profile_allocs", static_cast<std::uint64_t>(binfo.profiledAllocs))
         .field("workload", workload.describe());
     w.key("policies").beginArray();
-    for (const auto& m : results) w.raw(m.jsonString());
+    for (const auto& m : results) w.raw(m.jsonString(static_cast<std::int32_t>(timelineMax)));
     w.endArray();
     if (replay) w.key("replay").raw(replayReport.jsonString());
     w.endObject();
