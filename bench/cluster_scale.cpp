@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/registry.hpp"
 #include "sched/cluster.hpp"
 #include "sched/replay.hpp"
 #include "support/json.hpp"
@@ -112,6 +113,11 @@ int main(int argc, char** argv) {
   sched::ClusterConfig lastCfg;
   sched::Workload lastWorkload;
   double lastWall = 0;
+  // Every grid point records into one registry under its own prefix; the
+  // reference loop re-records the comparison point under "reference." so
+  // the two loops' observability can be compared counter-for-counter.
+  obs::Registry registry;
+  std::string comparisonPrefix;
   for (const GridPoint& g : grid) {
     sched::WorkloadConfig wcfg;
     wcfg.seed = 1;
@@ -127,6 +133,10 @@ int main(int argc, char** argv) {
     // shared candidate walk, not this PR's target — and no production
     // scheduler runs EASY unbounded at this queue depth anyway.
     ccfg.backfillDepth = 100;
+    ccfg.metrics = &registry;
+    ccfg.metricsPrefix =
+        "grid." + std::to_string(g.jobCount) + "x" + std::to_string(g.nodes) + ".";
+    comparisonPrefix = ccfg.metricsPrefix;
     sched::FcfsRigid policy;
     const auto start = std::chrono::steady_clock::now();
     const auto m = sched::simulateCluster(ccfg, workload, profiles, policy);
@@ -170,6 +180,7 @@ int main(int argc, char** argv) {
               "(%d jobs / %d nodes)...\n",
               lastWorkload.cfg.jobCount, lastCfg.nodes);
   sched::FcfsRigid refPolicy;
+  lastCfg.metricsPrefix = "reference.";
   const auto refStart = std::chrono::steady_clock::now();
   const auto refMetrics =
       sched::simulateClusterReference(lastCfg, lastWorkload, profiles, refPolicy);
@@ -179,6 +190,16 @@ int main(int argc, char** argv) {
   std::printf("reference: %.2fs, optimized: %.2fs -> %.1fx\n", refWall, lastWall, speedup);
   bench::check(identical,
                "optimized loop bit-identical to the reference loop (full metrics JSON)");
+  // The observability layer must be loop-independent too: both loops fold
+  // the same run facts into the registry, prefix aside.
+  const auto snap = registry.snapshot();
+  bool obsIdentical = true;
+  for (const char* key :
+       {"events_processed", "jobs_finished", "reallocations", "backfill_fires"})
+    obsIdentical = obsIdentical && snap.counter(comparisonPrefix + key) ==
+                                       snap.counter(std::string("reference.") + key);
+  bench::check(obsIdentical,
+               "optimized and reference loops record identical obs counters");
   bench::check(speedup >= 10.0, "optimized event loop >= 10x reference throughput "
                                 "at the comparison point (got " +
                                     Table::num(speedup, 1) + "x)");
@@ -298,6 +319,7 @@ int main(int argc, char** argv) {
     DPS_CHECK(w.closed(), "unbalanced interpolation JSON");
   }
   const std::string extraJson = "\"grid\":" + gridJson.str() + ",\"baseline\":" + extra.str() +
-                                ",\"interpolation\":" + interpJson.str();
+                                ",\"interpolation\":" + interpJson.str() +
+                                ",\"metrics\":" + registry.jsonString();
   return bench::finish("cluster_scale", args.opts, nullptr, extraJson);
 }

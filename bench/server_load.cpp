@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "obs/registry.hpp"
 #include "sched/engine_run.hpp"
 #include "support/rng.hpp"
 #include "svc/profile_cache.hpp"
@@ -141,10 +142,16 @@ int main(int argc, char** argv) {
   const auto universe = queryUniverse(args.smoke);
   const std::size_t steadyCount = args.smoke ? 800 : 4000;
 
+  // The whole service stack records into one registry: svc.cache.* from the
+  // cache, svc.queue.* from the admission queue, engine.*/mall.* from the
+  // engine runs the cold phase executes.
+  obs::Registry registry;
   svc::ProfileCache cache;
+  cache.attachRegistry(&registry);
   svc::RequestQueue::Options qopts;
   qopts.capacity = 64;
   qopts.workers = bench::effectiveJobs(args.opts);
+  qopts.metrics = &registry;
   svc::RequestQueue queue(cache, qopts);
 
   std::printf("query universe: %zu distinct specs, %u service threads, queue capacity %zu\n\n",
@@ -186,6 +193,16 @@ int main(int argc, char** argv) {
                    steady.percentileMs(0.50) > 0,
                "latency percentiles are reported and ordered (p99 >= p50 > 0)");
 
+  const auto snap = registry.snapshot();
+  bench::check(snap.counter("svc.cache.hits") == cs.hits &&
+                   snap.counter("svc.cache.joined") == cs.joined &&
+                   snap.counter("svc.cache.misses") == cs.misses &&
+                   snap.counter("svc.cache.engine_runs") == cs.engineRuns,
+               "obs registry cache counters agree with CacheStats exactly");
+  bench::check(snap.counter("svc.queue.served") == queue.served() &&
+                   snap.counter("svc.queue.rejected") == queue.rejectedCount(),
+               "obs registry queue counters agree with the queue's own counts");
+
   std::ostringstream extra;
   JsonWriter w(extra);
   w.beginObject();
@@ -211,5 +228,6 @@ int main(int argc, char** argv) {
       .endObject();
   w.endObject();
   DPS_CHECK(w.closed(), "unbalanced server_load JSON");
-  return bench::finish("server_load", args.opts, nullptr, "\"load\":" + extra.str());
+  return bench::finish("server_load", args.opts, nullptr,
+                       "\"load\":" + extra.str() + ",\"metrics\":" + registry.jsonString());
 }

@@ -31,6 +31,9 @@
 
 #include "des/scheduler.hpp"
 #include "lu/builder.hpp"
+#include "obs/clock.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sched/engine_run.hpp"
 #include "sched/profile.hpp"
 #include "support/cli.hpp"
@@ -87,7 +90,9 @@ sched::EngineRunSpec whatIfSpec(const lu::LuConfig& cfg, std::int64_t q,
 /// instead of serializing per job.  answers[0] of each set is the static
 /// run, whose per-iteration efficiency curve feeds the admission policy.
 std::vector<WhatIfSet> evaluateWhatIfs(ThreadPool& pool, const std::vector<lu::LuConfig>& cfgs,
-                                       svc::ProfileCache& cache) {
+                                       svc::ProfileCache& cache,
+                                       obs::TraceSink* trace = nullptr,
+                                       const obs::WallClock* wall = nullptr) {
   const sched::ProfileSettings settings;
   struct Pair {
     std::size_t job;
@@ -104,7 +109,15 @@ std::vector<WhatIfSet> evaluateWhatIfs(ThreadPool& pool, const std::vector<lu::L
     const std::size_t q = pairs[i].q;
     WhatIf& ans = sets[pairs[i].job].answers[q];
     ans.iteration = static_cast<std::int64_t>(q); // 0 = static
+    // Wall-time span per what-if query: cache hits show up as near-zero
+    // spans next to the full-simulation misses.
+    const double spanStart = wall != nullptr ? wall->elapsedMicros() : 0;
     const auto rec = svc::acquireRun(whatIfSpec(cfg, ans.iteration, settings), cache);
+    if (trace != nullptr && wall != nullptr)
+      trace->completeSpan("what-if", "svc", spanStart, wall->elapsedMicros() - spanStart, 0,
+                          static_cast<std::int32_t>(pairs[i].job),
+                          "{\"job\":" + std::to_string(pairs[i].job) +
+                              ",\"shrink_after\":" + std::to_string(ans.iteration) + "}");
     ans.duration = rec.totalSec;
     ans.shrinkAt = ans.duration; // fallback: nodes free at completion
     if (ans.iteration >= 1) {
@@ -312,6 +325,12 @@ int main(int argc, char** argv) {
       cli.integer("pool-jobs", 0, "concurrent what-if simulations (0 = hardware concurrency)");
   const std::string batchPath =
       cli.str("batch", "", "file of heterogeneous shrink queries (one n=/r=/workers= line each)");
+  const std::string metricsPath =
+      cli.str("metrics", "", "write the obs registry snapshot (svc.cache.*, engine.*, mall.*) "
+                             "to this JSON file");
+  const std::string tracePath =
+      cli.str("trace", "", "write a Chrome trace-event JSON of the what-if queries (wall time) "
+                           "to this file");
   if (poolJobsRaw < 0 || poolJobsRaw > 4096)
     throw ConfigError("--pool-jobs must be in [0, 4096], got " + std::to_string(poolJobsRaw));
   const auto poolJobs = static_cast<unsigned>(poolJobsRaw);
@@ -327,6 +346,35 @@ int main(int argc, char** argv) {
   ThreadPool pool(effectiveJobs - 1);
   svc::ProfileCache cache;
 
+  // Observability: the cache records svc.cache.* (and the engine runs it
+  // executes record engine.*/mall.*) into the registry; each what-if query
+  // gets a wall-time trace span.  Both disabled unless a flag asked.
+  obs::Registry registry;
+  obs::TraceSink trace;
+  const obs::WallClock wall;
+  obs::TraceSink* const traceSink = tracePath.empty() ? nullptr : &trace;
+  cache.attachRegistry(metricsPath.empty() ? nullptr : &registry);
+  if (traceSink != nullptr) trace.processName(0, "cluster_server what-if pool");
+  const auto writeObs = [&]() -> int {
+    if (!metricsPath.empty()) {
+      std::ofstream os(metricsPath);
+      if (!os) {
+        std::fprintf(stderr, "cannot write metrics to %s\n", metricsPath.c_str());
+        return 1;
+      }
+      os << registry.jsonString() << "\n";
+      std::printf("wrote %s\n", metricsPath.c_str());
+    }
+    if (traceSink != nullptr) {
+      if (!trace.writeFile(tracePath)) {
+        std::fprintf(stderr, "cannot write trace to %s\n", tracePath.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%zu trace events)\n", tracePath.c_str(), trace.eventCount());
+    }
+    return 0;
+  };
+
   if (!batchPath.empty()) {
     // Batch what-if mode: profile every query of the file concurrently on
     // the shared pool, then report one table per job.
@@ -340,7 +388,7 @@ int main(int argc, char** argv) {
     std::printf("batch what-if pool: %zu jobs, %zu candidate shrink points, %u concurrent "
                 "simulations\n\n",
                 queries.size(), candidates, effectiveJobs);
-    const auto sets = evaluateWhatIfs(pool, cfgs, cache);
+    const auto sets = evaluateWhatIfs(pool, cfgs, cache, traceSink, &wall);
     for (std::size_t j = 0; j < queries.size(); ++j) {
       const lu::LuConfig& cfg = cfgs[j];
       reportJob("job " + std::to_string(j) + ": " + std::to_string(cfg.n) + "x" +
@@ -352,7 +400,7 @@ int main(int argc, char** argv) {
     std::printf("what-if cache: %llu queries, %llu simulations (%.0f%% served from cache)\n",
                 static_cast<unsigned long long>(cs.lookups()),
                 static_cast<unsigned long long>(cs.engineRuns), cs.hitRate() * 100.0);
-    return 0;
+    return writeObs();
   }
 
   lu::LuConfig cfg;
@@ -364,7 +412,7 @@ int main(int argc, char** argv) {
               cfg.levels() - 1);
   std::printf("(%dx%d, r=%d, %d nodes; %u concurrent simulations)\n", cfg.n, cfg.n, cfg.r,
               jobNodes, effectiveJobs);
-  const auto sets = evaluateWhatIfs(pool, {cfg}, cache);
+  const auto sets = evaluateWhatIfs(pool, {cfg}, cache, traceSink, &wall);
   const JobProfile profile = reportJob({}, sets[0], cfg, threshold);
 
   const auto staticRes = serve(nodes, jobCount, jobNodes, profile, false);
@@ -382,5 +430,5 @@ int main(int argc, char** argv) {
   std::printf("\nservice-rate gain from malleability: %.1f%% (paper §8: \"the service rate\n"
               "of the cluster can be significantly increased\")\n",
               (staticRes.makespan / mallRes.makespan - 1.0) * 100.0);
-  return 0;
+  return writeObs();
 }

@@ -20,6 +20,7 @@ EventId Scheduler::scheduleAt(SimTime at, Action action) {
   heap_.push_back(Entry{at, nextSeq_++, std::move(sp)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++liveCount_;
+  if (liveCount_ > highWater_) highWater_ = liveCount_;
   return id;
 }
 
@@ -102,6 +103,7 @@ void Scheduler::reset() {
   nextSeq_ = 1;
   fired_ = 0;
   liveCount_ = 0;
+  highWater_ = 0;
 }
 
 } // namespace dps::des

@@ -79,6 +79,8 @@ public:
   bool empty() const { return liveCount_ == 0; }
   std::size_t pendingCount() const { return liveCount_; }
   std::uint64_t firedCount() const { return fired_; }
+  /// Most live events ever pending at once (queue-depth high-water mark).
+  std::size_t queueHighWater() const { return highWater_; }
 
   /// Resets clock and queue; handles from before reset are invalidated.
   void reset();
@@ -106,6 +108,7 @@ private:
   std::uint64_t nextSeq_ = 1;
   std::uint64_t fired_ = 0;
   std::size_t liveCount_ = 0;
+  std::size_t highWater_ = 0;
 };
 
 } // namespace dps::des

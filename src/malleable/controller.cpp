@@ -48,6 +48,22 @@ LuMalleabilityController::LuMalleabilityController(core::SimEngine& engine, lu::
   engine_.setRunStartHook([this] { onRunStart(); });
 }
 
+void LuMalleabilityController::observeWith(obs::Registry* metrics) {
+  if (metrics == nullptr) {
+    obsShrinks_ = obs::Counter{};
+    obsGrows_ = obs::Counter{};
+    obsShrinkBytes_ = obs::Counter{};
+    obsGrowBytes_ = obs::Counter{};
+    obsMoveBytes_ = obs::Histogram{};
+    return;
+  }
+  obsShrinks_ = metrics->counter("mall.shrinks");
+  obsGrows_ = metrics->counter("mall.grows");
+  obsShrinkBytes_ = metrics->counter("mall.shrink_bytes");
+  obsGrowBytes_ = metrics->counter("mall.grow_bytes");
+  obsMoveBytes_ = metrics->histogram("mall.move_bytes", obs::bytesBounds());
+}
+
 void LuMalleabilityController::evaluateEfficiency(std::int64_t iteration, SimTime when) {
   const trace::Trace* trace = engine_.liveTrace();
   DPS_CHECK(trace != nullptr, "efficiency policy requires trace recording");
@@ -120,6 +136,7 @@ void LuMalleabilityController::applyStep(const RemovalStep& step, std::int64_t i
   for (std::int32_t t : step.threads) {
     DPS_CHECK(!removed_.count(t), "thread removed twice by the allocation plan");
     removed_.insert(t);
+    obsShrinks_.add();
     if (policy_ == RemovalPolicy::MultOnly) {
       engine_.deactivateThread(build_.workersGroup, t);
       continue;
@@ -139,6 +156,7 @@ void LuMalleabilityController::applyGrow(const GrowStep& step, std::int64_t iter
   for (std::int32_t t : step.threads) {
     DPS_CHECK(removed_.count(t) > 0, "grow step re-adds a thread that was never removed");
     removed_.erase(t);
+    obsGrows_.add();
     // A thread still draining a pinned column was never engine-deactivated;
     // activateThread is a no-op for it and the drain is simply abandoned.
     pendingMigration_.erase(t);
@@ -189,7 +207,9 @@ void LuMalleabilityController::rebalanceOnto(std::int32_t thread, std::int64_t i
     for (std::int32_t c : build_.directory->columnsOf(donor))
       if (c > iteration) col = c;
     DPS_CHECK(col >= 0, "donor lost its future columns mid-rebalance");
-    growMigratedBytes_ += moveColumn(col, donor, thread);
+    const std::uint64_t moved = moveColumn(col, donor, thread);
+    growMigratedBytes_ += moved;
+    obsGrowBytes_.add(moved);
   }
 }
 
@@ -213,7 +233,9 @@ void LuMalleabilityController::migrateColumns(std::int32_t fromThread, std::int6
     // Column `iteration` is pinned: its panel factorization is the next
     // compute segment on its current owner (see header).
     if (col == iteration) continue;
-    shrinkMigratedBytes_ += moveColumn(col, fromThread, leastLoadedActive());
+    const std::uint64_t moved = moveColumn(col, fromThread, leastLoadedActive());
+    shrinkMigratedBytes_ += moved;
+    obsShrinkBytes_.add(moved);
   }
 }
 
@@ -247,6 +269,7 @@ std::uint64_t LuMalleabilityController::moveColumn(std::int32_t col, std::int32_
   }
 
   build_.directory->setOwner(col, toThread);
+  obsMoveBytes_.observe(static_cast<double>(bytes));
   engine_.injectTransfer(engine_.nodeOfThread(build_.workersGroup, fromThread),
                          engine_.nodeOfThread(build_.workersGroup, toThread), bytes);
   DPS_INFO("migrated column ", col, " from thread ", fromThread, " to ", toThread);

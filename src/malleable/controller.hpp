@@ -30,6 +30,7 @@
 #include "core/engine.hpp"
 #include "lu/builder.hpp"
 #include "malleable/plan.hpp"
+#include "obs/registry.hpp"
 
 namespace dps::mall {
 
@@ -60,6 +61,12 @@ public:
   /// Requires the engine to record a trace.
   LuMalleabilityController(core::SimEngine& engine, lu::LuBuild& build,
                            EfficiencyPolicy policy);
+
+  /// Attaches migration metrics (mall.shrinks/grows, per-direction byte
+  /// counters, a per-column-move size histogram).  Call before the engine
+  /// run; a null registry detaches.  Observation only — the controller's
+  /// decisions and byte accounting are identical either way.
+  void observeWith(obs::Registry* metrics);
 
   /// Threads removed so far and not re-added (for tests).
   const std::set<std::int32_t>& removed() const { return removed_; }
@@ -104,6 +111,12 @@ private:
   std::uint64_t growMigratedBytes_ = 0;
   SimTime lastMarker_{};
   std::vector<double> observedEff_;
+  // Null-safe metric handles (no-ops until observeWith attaches a registry).
+  obs::Counter obsShrinks_;
+  obs::Counter obsGrows_;
+  obs::Counter obsShrinkBytes_;
+  obs::Counter obsGrowBytes_;
+  obs::Histogram obsMoveBytes_;
 };
 
 } // namespace dps::mall

@@ -1,0 +1,57 @@
+// obs::WallClock + obs::ProgressMeter — the one wall-clock source behind
+// progress lines, service metrics, and wall-time trace spans.
+//
+// Tools used to carry private steady_clock/ETA lambdas; routing them all
+// through one clock object means a run's progress output, its metrics
+// timestamps, and its trace spans agree on a single time origin.
+#pragma once
+
+#include <chrono>
+
+namespace dps::obs {
+
+/// Monotonic elapsed time since construction.
+class WallClock {
+public:
+  WallClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  double elapsedSec() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - origin_).count();
+  }
+  /// Trace-event timestamp unit.
+  double elapsedMicros() const { return elapsedSec() * 1e6; }
+
+private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Rate-limits progress reporting and centralizes the ETA arithmetic.
+class ProgressMeter {
+public:
+  explicit ProgressMeter(const WallClock& clock, double minIntervalSec = 1.0)
+      : clock_(&clock), minInterval_(minIntervalSec) {}
+
+  /// True at most once per interval; the caller prints when it is.
+  bool due() {
+    const double now = clock_->elapsedSec();
+    if (now - lastSec_ < minInterval_) return false;
+    lastSec_ = now;
+    return true;
+  }
+
+  double elapsedSec() const { return clock_->elapsedSec(); }
+
+  /// Remaining-time estimate from linear extrapolation; 0 before any
+  /// progress exists to extrapolate from.
+  static double etaSec(double elapsedSec, double done, double total) {
+    if (done <= 0 || total <= done) return 0;
+    return elapsedSec * (total - done) / done;
+  }
+
+private:
+  const WallClock* clock_;
+  double minInterval_;
+  double lastSec_ = -1e300; // first due() always fires
+};
+
+} // namespace dps::obs

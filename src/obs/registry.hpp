@@ -1,0 +1,188 @@
+// obs::Registry — named counters, gauges, and fixed-bucket histograms
+// shared by every layer (the observability side of the ROADMAP's
+// production-service north star).
+//
+// Design constraints, in order:
+//   * zero-cost when disabled — instrumented code holds null-safe handles;
+//     a default-constructed Counter/Gauge/Histogram is a no-op, so layers
+//     instrument unconditionally and pay one branch when no registry is
+//     attached;
+//   * thread-safe without a hot shared lock — each thread writes its own
+//     shard (registered on first use, guarded by a per-shard mutex that is
+//     uncontended except while snapshot() folds), so pool workers never
+//     serialize on a global metrics mutex;
+//   * deterministic output — snapshot() folds shards into one name-sorted
+//     value set, so the emitted JSON is stable across thread interleavings
+//     whenever the recorded totals are (counters sum, gauges fold by max —
+//     high-water semantics — histograms merge bucket-wise).
+//
+// Instrumentation must stay OUTSIDE result computation: nothing in this
+// header feeds back into simulation state, and the determinism tests run
+// with metrics attached to prove it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dps {
+class JsonWriter;
+} // namespace dps
+
+namespace dps::obs {
+
+class Registry;
+
+/// Monotonic event count.  Null-safe: default-constructed handles no-op.
+class Counter {
+public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) const;
+
+private:
+  friend class Registry;
+  Counter(Registry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// Point-in-time value; shards fold by MAX at snapshot (high-water
+/// semantics — the common use is queue-depth / score high-water marks).
+class Gauge {
+public:
+  Gauge() = default;
+  void set(double v) const;
+
+private:
+  friend class Registry;
+  Gauge(Registry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// Fixed upper-bound bucket histogram (latencies, sizes).  Values above the
+/// last bound land in an overflow bucket; count/sum/min/max are exact.
+class Histogram {
+public:
+  Histogram() = default;
+  void observe(double v) const;
+
+private:
+  friend class Registry;
+  Histogram(Registry* reg, std::uint32_t id, std::shared_ptr<const std::vector<double>> bounds)
+      : reg_(reg), id_(id), bounds_(std::move(bounds)) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+  std::shared_ptr<const std::vector<double>> bounds_;
+};
+
+/// Log-spaced second bounds, 1us .. 1000s (service latencies and simulated
+/// durations alike).
+std::vector<double> secondsBounds();
+/// Power-of-16 byte bounds, 1KiB .. 16GiB (migration / state sizes).
+std::vector<double> bytesBounds();
+
+/// One consistent fold of every shard, name-sorted.
+struct Snapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;        // ascending upper bounds
+    std::vector<std::uint64_t> counts; // bounds.size() + 1 (last = overflow)
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    /// Upper-bound estimate from the cumulative bucket counts (the exact
+    /// max for the overflow bucket); 0 on an empty histogram.
+    double quantile(double q) const;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Lookup helpers for tests and embedders; zero / null when absent.
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  const HistogramValue* histogram(const std::string& name) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} at value
+  /// position, every section name-sorted.
+  void writeJson(JsonWriter& w) const;
+  std::string jsonString() const;
+};
+
+class Registry {
+public:
+  Registry();
+  ~Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Idempotent registration: the same name always returns a handle to the
+  /// same metric (re-registering under a different kind is an error).
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  /// `bounds` must be ascending and non-empty; re-registration must repeat
+  /// the same bounds.
+  Histogram histogram(const std::string& name, std::vector<double> bounds = secondsBounds());
+
+  Snapshot snapshot() const;
+  std::string jsonString() const;
+
+private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+  struct Metric {
+    std::string name;
+    Kind kind = Kind::Counter;
+    std::shared_ptr<const std::vector<double>> bounds; // histograms only
+  };
+
+  /// Per-metric slot inside one thread's shard; only the fields of the
+  /// metric's kind are used.
+  struct Cell {
+    std::uint64_t count = 0;
+    double gaugeValue = 0;
+    bool gaugeSet = false;
+    std::vector<std::uint64_t> bucketCounts;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::vector<Cell> cells;
+  };
+
+  void counterAdd(std::uint32_t id, std::uint64_t n);
+  void gaugeSet(std::uint32_t id, double v);
+  void observe(std::uint32_t id, const std::vector<double>& bounds, double v);
+
+  std::uint32_t intern(const std::string& name, Kind kind,
+                       std::shared_ptr<const std::vector<double>> bounds);
+  Shard& localShard();
+  static Cell& cellFor(Shard& shard, std::uint32_t id);
+
+  mutable std::mutex mu_; // metrics_ + shards_ registration and snapshot
+  std::vector<Metric> metrics_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  const std::uint64_t uid_; // process-unique; keys the thread-local shard map
+};
+
+} // namespace dps::obs

@@ -6,7 +6,10 @@
 #include <tuple>
 
 #include "des/scheduler.hpp"
+#include "obs/trace.hpp"
+#include "sched/observe.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 
 namespace dps::sched {
 
@@ -65,6 +68,7 @@ public:
       metrics_.jobs.push_back(std::move(rt.out));
     }
     metrics_.finalize();
+    recordClusterRun(cfg_, metrics_, sched_.firedCount(), sched_.queueHighWater());
     return std::move(metrics_);
   }
 
@@ -123,6 +127,44 @@ private:
     if (!rt.inFinishIndex) return;
     runningByFinish_.erase(rt.finishIt);
     rt.inFinishIndex = false;
+  }
+
+  /// Trace emission (simulated-time microseconds, one tid per job id).
+  /// Everything below only *reads* run state — tracing on or off cannot
+  /// change a single scheduling decision.
+  double nowMicros() const { return nowSec() * 1e6; }
+
+  void traceQueuedSpan(const JobRt& rt, std::int32_t alloc) const {
+    cfg_.trace->completeSpan("queued", "queue", rt.out.arrivalSec * 1e6, rt.out.waitSec() * 1e6,
+                             cfg_.tracePid, rt.out.id,
+                             "{\"alloc\":" + std::to_string(alloc) + "}");
+  }
+
+  void traceRunSpan(const JobRt& rt) const {
+    cfg_.trace->completeSpan(rt.out.klass, "job", rt.out.startSec * 1e6,
+                             (rt.out.finishSec - rt.out.startSec) * 1e6, cfg_.tracePid, rt.out.id,
+                             "{\"reallocations\":" + std::to_string(rt.out.reallocations) +
+                                 ",\"migrated_bytes\":" + jsonDouble(rt.out.migratedBytes) +
+                                 ",\"backfilled\":" + (rt.out.backfilled ? "true" : "false") + "}");
+  }
+
+  void traceRealloc(const JobRt& rt, std::int32_t from, std::int32_t to, double bytes) const {
+    cfg_.trace->instant("realloc", "job", nowMicros(), cfg_.tracePid, rt.out.id,
+                        "{\"from\":" + std::to_string(from) + ",\"to\":" + std::to_string(to) +
+                            ",\"bytes\":" + jsonDouble(bytes) + "}");
+  }
+
+  void traceMigration(const JobRt& rt, const SimDuration& delay, double bytes) const {
+    cfg_.trace->completeSpan("migrate", "job", nowMicros(), toSeconds(delay) * 1e6, cfg_.tracePid,
+                             rt.out.id, "{\"bytes\":" + jsonDouble(bytes) + "}");
+  }
+
+  void traceBackfill(const JobRt& rt, std::int32_t alloc, double shadow,
+                     std::int32_t spare) const {
+    cfg_.trace->instant("backfill", "sched", nowMicros(), cfg_.tracePid, rt.out.id,
+                        "{\"alloc\":" + std::to_string(alloc) +
+                            ",\"shadow_sec\":" + jsonDouble(shadow) +
+                            ",\"spare\":" + std::to_string(spare) + "}");
   }
 
   void maybeProgress() {
@@ -222,6 +264,7 @@ private:
       jobs_[i].queued = false;
       --queuedLive_;
       jobs_[i].out.backfilled = true;
+      if (cfg_.trace != nullptr) traceBackfill(jobs_[i], alloc, shadow, spare);
       startJob(i, alloc);
     }
   }
@@ -233,6 +276,7 @@ private:
     rt.nodes = alloc;
     rt.prof = &profileOf(i).at(alloc);
     rt.out.startSec = nowSec();
+    if (cfg_.trace != nullptr) traceQueuedSpan(rt, alloc);
     recordUse();
     schedulePhase(i);
   }
@@ -259,6 +303,7 @@ private:
       rt.prof = nullptr;
       rt.finished = true;
       rt.out.finishSec = nowSec();
+      if (cfg_.trace != nullptr) traceRunSpan(rt);
       dropFinishIndex(i);
       recordUse();
       admissionScan();
@@ -282,6 +327,7 @@ private:
       return;
     }
     const double bytes = profile.migrationBytes(rt.phase, rt.nodes, target);
+    if (cfg_.trace != nullptr) traceRealloc(rt, rt.nodes, target, bytes);
     if (target < rt.nodes) {
       free_ += rt.nodes - target; // released nodes stop computing now
     } else {
@@ -300,6 +346,7 @@ private:
     if (cfg_.chargeMigration) {
       const SimDuration delay =
           cfg_.migrationLatency + seconds(bytes / cfg_.migrationBandwidthBytesPerSec);
+      if (cfg_.trace != nullptr) traceMigration(rt, delay, bytes);
       rt.estFinishSec = nowSec() + toSeconds(delay) + rt.prof->remainingFrom(rt.phase);
       updateFinishIndex(i);
       sched_.scheduleAfter(delay, [this, i] { schedulePhase(i); });

@@ -39,6 +39,11 @@
 #include "sched/profile.hpp"
 #include "sched/workload.hpp"
 
+namespace dps::obs {
+class Registry;
+class TraceSink;
+} // namespace dps::obs
+
 namespace dps::sched {
 
 /// Snapshot handed to ClusterConfig::onProgress while a simulation runs.
@@ -74,6 +79,21 @@ struct ClusterConfig {
   /// Invoke `onProgress` every this many processed events (0 = never).
   std::int64_t progressEvery = 0;
   std::function<void(const ClusterProgress&)> onProgress{};
+  /// Observability (all optional; null = disabled, zero cost).  The run's
+  /// aggregate counters/gauges/histograms fold into `metrics` under
+  /// `metricsPrefix` when the loop quiesces; instrumentation never feeds
+  /// back into the simulation, so results are bit-identical either way —
+  /// both loops record the same values, proving their equivalence extends
+  /// to what they observe.
+  obs::Registry* metrics = nullptr;
+  std::string metricsPrefix;
+  /// Per-job spans (queued/run), realloc instants and backfill decisions in
+  /// *simulated* microseconds, one trace tid per job id.  Only the
+  /// optimized loop emits traces (the reference loop is an oracle, not a
+  /// production path).
+  obs::TraceSink* trace = nullptr;
+  /// Trace process lane, so several policies share one trace file.
+  std::int32_t tracePid = 0;
 
   static ClusterConfig fromProfile(const net::PlatformProfile& p, std::int32_t nodes) {
     ClusterConfig cfg;

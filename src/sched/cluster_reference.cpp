@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "des/scheduler.hpp"
+#include "sched/observe.hpp"
 #include "support/error.hpp"
 
 namespace dps::sched {
@@ -67,6 +68,7 @@ public:
       metrics_.jobs.push_back(std::move(rt.out));
     }
     metrics_.finalize();
+    recordClusterRun(cfg_, metrics_, sched_.firedCount(), sched_.queueHighWater());
     return std::move(metrics_);
   }
 

@@ -6,6 +6,7 @@
 #include "core/engine.hpp"
 #include "jacobi/app.hpp"
 #include "lu/app.hpp"
+#include "obs/registry.hpp"
 #include "support/error.hpp"
 #include "support/fingerprint.hpp"
 #include "trace/efficiency.hpp"
@@ -52,6 +53,10 @@ std::uint64_t EngineRunSpec::fingerprint() const {
 }
 
 EngineRunRecord executeEngineRun(const EngineRunSpec& spec) {
+  return executeEngineRun(spec, nullptr);
+}
+
+EngineRunRecord executeEngineRun(const EngineRunSpec& spec, obs::Registry* metrics) {
   core::SimEngine engine(spec.config);
   core::RunResult run;
   const char* markerName = nullptr;
@@ -70,9 +75,11 @@ EngineRunRecord executeEngineRun(const EngineRunSpec& spec) {
         build.directory->setOwner(c, c % spec.startAlloc);
     }
     std::unique_ptr<mall::LuMalleabilityController> controller;
-    if (!spec.plan.empty())
+    if (!spec.plan.empty()) {
       controller =
           std::make_unique<mall::LuMalleabilityController>(engine, build, spec.plan, spec.policy);
+      controller->observeWith(metrics);
+    }
     run = lu::runLu(engine, build);
     markerName = "iteration";
     if (controller) rec.migratedBytes = static_cast<double>(controller->migratedBytes());
@@ -103,6 +110,10 @@ EngineRunRecord executeEngineRun(const EngineRunSpec& spec) {
     for (const auto& a : run.trace->allocations())
       rec.allocEvents.push_back(
           AllocEvent{toSeconds(a.time.time_since_epoch()), a.allocatedNodes});
+  }
+  if (metrics != nullptr) {
+    metrics->counter("engine.runs").add();
+    metrics->histogram("engine.sim_sec", obs::secondsBounds()).observe(rec.totalSec);
   }
   return rec;
 }

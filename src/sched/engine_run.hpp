@@ -32,6 +32,10 @@
 #include "sched/profile.hpp"
 #include "sched/workload.hpp"
 
+namespace dps::obs {
+class Registry;
+} // namespace dps::obs
+
 namespace dps::sched {
 
 /// Complete description of one single-threaded engine run.
@@ -92,6 +96,10 @@ struct EngineRunRecord {
 /// Executes the spec on a fresh engine.  Pure function of the spec:
 /// bit-identical on every call, safe to run concurrently from pool workers.
 EngineRunRecord executeEngineRun(const EngineRunSpec& spec);
+/// Observed variant: engine-run counters plus the malleability
+/// controller's migration metrics (bytes by direction) land in `metrics`.
+/// Identical results — observation never reaches simulation state.
+EngineRunRecord executeEngineRun(const EngineRunSpec& spec, obs::Registry* metrics);
 
 /// Injection point for memoization: callers hand profile/replay code a
 /// runner (svc::cachedRunner) and identical specs simulate only once.

@@ -35,6 +35,7 @@ void ClusterMetrics::finalize() {
   makespanSec = 0;
   meanSlowdown = maxSlowdown = meanWaitSec = migratedBytes = 0;
   reallocations = 0;
+  backfillFires = 0;
   for (const JobOutcome& j : jobs) {
     makespanSec = std::max(makespanSec, j.finishSec);
     meanSlowdown += j.slowdown();
@@ -42,6 +43,7 @@ void ClusterMetrics::finalize() {
     meanWaitSec += j.waitSec();
     migratedBytes += j.migratedBytes;
     reallocations += j.reallocations;
+    if (j.backfilled) ++backfillFires;
   }
   if (!jobs.empty()) {
     meanSlowdown /= static_cast<double>(jobs.size());
@@ -75,7 +77,8 @@ void ClusterMetrics::writeJson(std::ostream& os, std::int32_t timelineMaxPoints)
       .field("mean_wait_sec", meanWaitSec)
       .field("migrated_bytes", migratedBytes)
       .field("reallocations", reallocations)
-      .field("events", events)
+      .field("backfill_fires", backfillFires)
+      .field("events_processed", events)
       .field("timeline_points", static_cast<std::uint64_t>(timeline.size()));
   w.key("jobs").beginArray();
   for (const JobOutcome& j : jobs) {

@@ -63,6 +63,8 @@ struct ClusterMetrics {
   double meanWaitSec = 0;
   double migratedBytes = 0;
   std::int32_t reallocations = 0;
+  /// Jobs started ahead of an older blocked job by EASY backfill.
+  std::int32_t backfillFires = 0;
 
   /// Computes the aggregate block from jobs + timeline.
   void finalize();

@@ -1,0 +1,34 @@
+#include "sched/observe.hpp"
+
+#include "obs/registry.hpp"
+#include "sched/cluster.hpp"
+#include "sched/metrics.hpp"
+
+namespace dps::sched {
+
+void recordClusterRun(const ClusterConfig& cfg, const ClusterMetrics& m,
+                      std::uint64_t desEventsFired, std::size_t desQueueHighWater) {
+  obs::Registry* reg = cfg.metrics;
+  if (reg == nullptr) return;
+  const std::string& p = cfg.metricsPrefix;
+
+  reg->counter(p + "events_processed").add(static_cast<std::uint64_t>(m.events));
+  reg->counter(p + "jobs_finished").add(m.jobs.size());
+  reg->counter(p + "reallocations").add(static_cast<std::uint64_t>(m.reallocations));
+  reg->counter(p + "backfill_fires").add(static_cast<std::uint64_t>(m.backfillFires));
+  reg->counter(p + "migrated_bytes").add(static_cast<std::uint64_t>(m.migratedBytes));
+  reg->counter(p + "des.events_fired").add(desEventsFired);
+  reg->gauge(p + "des.queue_high_water").set(static_cast<double>(desQueueHighWater));
+  reg->gauge(p + "makespan_sec").set(m.makespanSec);
+  reg->gauge(p + "utilization").set(m.utilization);
+  reg->gauge(p + "mean_slowdown").set(m.meanSlowdown);
+
+  obs::Histogram wait = reg->histogram(p + "job_wait_sec", obs::secondsBounds());
+  obs::Histogram bytes = reg->histogram(p + "job_migrated_bytes", obs::bytesBounds());
+  for (const JobOutcome& j : m.jobs) {
+    wait.observe(j.waitSec());
+    if (j.migratedBytes > 0) bytes.observe(j.migratedBytes);
+  }
+}
+
+} // namespace dps::sched

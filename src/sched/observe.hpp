@@ -1,0 +1,24 @@
+// Folds one finished cluster run into an obs::Registry.
+//
+// Called by BOTH event loops (optimized and reference) with the finalized
+// metrics, so whichever loop ran, an attached registry ends up with the
+// same values — the bit-identity contract between the loops extends to
+// their observability output.  Everything here reads the result; nothing
+// feeds back into simulation state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dps::sched {
+
+struct ClusterConfig;
+struct ClusterMetrics;
+
+/// No-op when cfg.metrics is null.  `desEventsFired` / `desQueueHighWater`
+/// surface the DES kernel's own counters (events dispatched, queue-depth
+/// high-water) under the same prefix.
+void recordClusterRun(const ClusterConfig& cfg, const ClusterMetrics& m,
+                      std::uint64_t desEventsFired, std::size_t desQueueHighWater);
+
+} // namespace dps::sched

@@ -14,26 +14,51 @@ std::size_t CacheKeyHash::operator()(const CacheKey& k) const {
   return static_cast<std::size_t>(fp.value());
 }
 
+void ProfileCache::attachRegistry(obs::Registry* metrics) {
+  std::unique_lock<std::mutex> lock(mu_);
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    obsHits_ = obs::Counter{};
+    obsJoined_ = obs::Counter{};
+    obsMisses_ = obs::Counter{};
+    obsEngineRuns_ = obs::Counter{};
+    obsRunSec_ = obs::Histogram{};
+    obsJoinWaitSec_ = obs::Histogram{};
+    return;
+  }
+  obsHits_ = metrics->counter("svc.cache.hits");
+  obsJoined_ = metrics->counter("svc.cache.joined");
+  obsMisses_ = metrics->counter("svc.cache.misses");
+  obsEngineRuns_ = metrics->counter("svc.cache.engine_runs");
+  obsRunSec_ = metrics->histogram("svc.cache.run_sec", obs::secondsBounds());
+  obsJoinWaitSec_ = metrics->histogram("svc.cache.join_wait_sec", obs::secondsBounds());
+}
+
 sched::EngineRunRecord ProfileCache::run(const sched::EngineRunSpec& spec) {
   const CacheKey key{spec.engineFingerprint(), spec.cacheSpec()};
   for (;;) {
     std::shared_ptr<Entry> entry;
     bool claimed = false;
+    obs::Registry* metrics = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      metrics = metrics_;
       auto it = entries_.find(key);
       if (it == entries_.end()) {
         entry = std::make_shared<Entry>();
         entries_.emplace(key, entry);
         claimed = true;
         ++stats_.misses;
+        obsMisses_.add();
       } else {
         entry = it->second;
         if (entry->state == Entry::State::Ready) {
           ++stats_.hits;
+          obsHits_.add();
           return entry->record;
         }
         ++stats_.joined;
+        obsJoined_.add();
       }
     }
 
@@ -42,9 +67,12 @@ sched::EngineRunRecord ProfileCache::run(const sched::EngineRunSpec& spec) {
       // live executing owner, so joiners are guaranteed progress even when
       // every pool worker is blocked here.
       try {
-        sched::EngineRunRecord rec = sched::executeEngineRun(spec);
+        const double runStartSec = clock_.elapsedSec();
+        sched::EngineRunRecord rec = sched::executeEngineRun(spec, metrics);
+        obsRunSec_.observe(clock_.elapsedSec() - runStartSec);
         std::unique_lock<std::mutex> lock(mu_);
         ++stats_.engineRuns;
+        obsEngineRuns_.add();
         entry->record = std::move(rec);
         entry->state = Entry::State::Ready;
         lock.unlock();
@@ -65,8 +93,10 @@ sched::EngineRunRecord ProfileCache::run(const sched::EngineRunSpec& spec) {
     // Joiner (already counted in `joined`): wait for the claimer.  On
     // failure the entry is gone from the map — loop back and re-claim so
     // the retry surfaces the real error.
+    const double waitStartSec = clock_.elapsedSec();
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return entry->state != Entry::State::Pending; });
+    obsJoinWaitSec_.observe(clock_.elapsedSec() - waitStartSec);
     if (entry->state == Entry::State::Ready) return entry->record;
   }
 }

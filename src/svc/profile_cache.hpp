@@ -34,6 +34,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/clock.hpp"
+#include "obs/registry.hpp"
 #include "sched/engine_run.hpp"
 #include "sched/profile.hpp"
 #include "sched/workload.hpp"
@@ -75,6 +77,14 @@ public:
   /// concurrent callers block on the in-flight slot, later callers hit.
   sched::EngineRunRecord run(const sched::EngineRunSpec& spec);
 
+  /// Attaches observability: svc.cache.{hits,joined,misses,engine_runs}
+  /// counters mirror the CacheStats fields exactly, svc.cache.run_sec /
+  /// svc.cache.join_wait_sec record wall-clock engine-run and single-flight
+  /// wait latencies, and engine runs executed through the cache record
+  /// their own engine.*/mall.* metrics into the same registry.  Call before
+  /// the cache is shared across threads; null detaches.
+  void attachRegistry(obs::Registry* metrics);
+
   CacheStats stats() const;
   std::size_t size() const;
   /// Drops every completed entry (in-flight entries drain first).
@@ -91,6 +101,17 @@ private:
   std::condition_variable cv_;
   std::unordered_map<CacheKey, std::shared_ptr<Entry>, CacheKeyHash> entries_;
   CacheStats stats_;
+  // Observability (null-safe no-ops until attachRegistry).  The counter
+  // handles are bumped at the exact statements that bump stats_, so the
+  // registry and CacheStats can never disagree.
+  obs::Registry* metrics_ = nullptr;
+  obs::Counter obsHits_;
+  obs::Counter obsJoined_;
+  obs::Counter obsMisses_;
+  obs::Counter obsEngineRuns_;
+  obs::Histogram obsRunSec_;
+  obs::Histogram obsJoinWaitSec_;
+  obs::WallClock clock_;
 };
 
 /// The process-wide cache every default acquisition call shares.

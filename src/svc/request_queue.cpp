@@ -12,6 +12,13 @@ RequestQueue::RequestQueue(ProfileCache& cache, Options options)
   DPS_CHECK(options_.capacity >= 1, "request queue needs capacity >= 1");
   DPS_CHECK(options_.ewmaAlpha > 0 && options_.ewmaAlpha <= 1,
             "EWMA smoothing factor must be in (0, 1]");
+  if (options_.metrics != nullptr) {
+    obsAccepted_ = options_.metrics->counter("svc.queue.accepted");
+    obsRejected_ = options_.metrics->counter("svc.queue.rejected");
+    obsServed_ = options_.metrics->counter("svc.queue.served");
+    obsLatencySec_ = options_.metrics->histogram("svc.queue.latency_sec", obs::secondsBounds());
+    obsDepthHighWater_ = options_.metrics->gauge("svc.queue.depth_high_water");
+  }
   workers_.reserve(options_.workers);
   for (unsigned i = 0; i < options_.workers; ++i)
     workers_.emplace_back([this] { workerLoop(); });
@@ -33,6 +40,7 @@ Admission RequestQueue::submit(sched::EngineRunSpec spec, Completion done) {
     const std::size_t backlog = queue_.size() + inService_;
     if (backlog >= options_.capacity) {
       ++rejected_;
+      obsRejected_.add();
       adm.decision = Admission::Decision::Rejected;
       adm.depth = backlog;
       // Expected seconds until the head of the backlog has cleared enough
@@ -44,8 +52,13 @@ Admission RequestQueue::submit(sched::EngineRunSpec spec, Completion done) {
       adm.retryAfterSec = perRequest * static_cast<double>(backlog) / lanes;
       return adm;
     }
-    queue_.push_back(Request{std::move(spec), std::move(done)});
+    queue_.push_back(Request{std::move(spec), std::move(done), clock_.elapsedSec()});
     adm.depth = queue_.size() + inService_;
+    obsAccepted_.add();
+    if (adm.depth > depthHighWater_) {
+      depthHighWater_ = adm.depth;
+      obsDepthHighWater_.set(static_cast<double>(depthHighWater_));
+    }
   }
   cv_.notify_one();
   return adm;
@@ -65,6 +78,8 @@ void RequestQueue::serve(Request req) {
   const sched::EngineRunRecord rec = cache_.run(req.spec);
   const double sec = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   if (req.done) req.done(rec);
+  obsServed_.add();
+  obsLatencySec_.observe(clock_.elapsedSec() - req.submitSec);
   {
     std::unique_lock<std::mutex> lock(mu_);
     --inService_;

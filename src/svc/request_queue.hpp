@@ -51,6 +51,10 @@ public:
     unsigned workers = 0;
     /// Smoothing factor of the service-time EWMA behind retryAfterSec.
     double ewmaAlpha = 0.2;
+    /// Optional observability: svc.queue.{accepted,rejected,served}
+    /// counters, an admission→completion wall-latency histogram, and the
+    /// backlog-depth high-water gauge.  Null = disabled.
+    obs::Registry* metrics = nullptr;
   };
 
   using Completion = std::function<void(const sched::EngineRunRecord&)>;
@@ -82,6 +86,7 @@ private:
   struct Request {
     sched::EngineRunSpec spec;
     Completion done;
+    double submitSec = 0; // queue clock at admission (latency histogram)
   };
 
   void serve(Request req);
@@ -99,6 +104,14 @@ private:
   std::uint64_t rejected_ = 0;
   double ewmaServiceSec_ = 0;
   bool stopping_ = false;
+  std::size_t depthHighWater_ = 0;
+  // Null-safe metric handles (no-ops when Options::metrics is null).
+  obs::WallClock clock_;
+  obs::Counter obsAccepted_;
+  obs::Counter obsRejected_;
+  obs::Counter obsServed_;
+  obs::Histogram obsLatencySec_;
+  obs::Gauge obsDepthHighWater_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,178 @@
+// obs:: unit tests — registry fold semantics, snapshot determinism, JSON
+// shape, and the trace-event sink.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace dps::obs {
+namespace {
+
+TEST(RegistryTest, DefaultHandlesAreNoOps) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.add();
+  c.add(41);
+  g.set(7.0);
+  h.observe(0.5); // no registry, no crash, nothing recorded
+}
+
+TEST(RegistryTest, CountersSumAndInternIsIdempotent) {
+  Registry reg;
+  const Counter a = reg.counter("x");
+  const Counter b = reg.counter("x"); // same metric, second handle
+  a.add();
+  b.add(2);
+  EXPECT_EQ(reg.snapshot().counter("x"), 3u);
+  EXPECT_EQ(reg.snapshot().counter("absent"), 0u);
+}
+
+TEST(RegistryTest, GaugeFoldsByMaxAcrossShards) {
+  Registry reg;
+  const Gauge g = reg.gauge("high_water");
+  g.set(3.0);
+  std::thread other([&] { g.set(7.0); }); // second thread = second shard
+  other.join();
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge("high_water"), 7.0);
+  // A later lower value on this thread's shard cannot win the max fold.
+  g.set(1.0);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge("high_water"), 7.0);
+}
+
+TEST(RegistryTest, UnsetGaugeReadsZero) {
+  Registry reg;
+  (void)reg.gauge("never_set");
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge("never_set"), 0.0);
+}
+
+TEST(RegistryTest, HistogramBucketsMinMaxSumQuantiles) {
+  Registry reg;
+  const Histogram h = reg.histogram("lat", {1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(10.0); // overflow bucket
+  const auto snap = reg.snapshot();
+  const auto* v = snap.histogram("lat");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->count, 4u);
+  EXPECT_DOUBLE_EQ(v->sum, 15.0);
+  EXPECT_DOUBLE_EQ(v->min, 0.5);
+  EXPECT_DOUBLE_EQ(v->max, 10.0);
+  ASSERT_EQ(v->counts.size(), 4u); // 3 bounds + overflow
+  EXPECT_EQ(v->counts[0], 1u);
+  EXPECT_EQ(v->counts[1], 1u);
+  EXPECT_EQ(v->counts[2], 1u);
+  EXPECT_EQ(v->counts[3], 1u);
+  EXPECT_DOUBLE_EQ(v->quantile(0.25), 1.0); // first bucket's upper bound
+  EXPECT_DOUBLE_EQ(v->quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(v->quantile(0.99), 10.0); // overflow reports the exact max
+}
+
+TEST(RegistryTest, SingleObservationQuantileIsClampedToMax) {
+  Registry reg;
+  reg.histogram("one", {1.0, 2.0}).observe(0.5);
+  const auto snap = reg.snapshot();
+  // The bucket bound is 1.0 but only 0.5 was ever seen.
+  EXPECT_DOUBLE_EQ(snap.histogram("one")->quantile(0.5), 0.5);
+}
+
+TEST(RegistryTest, EmptyHistogramIsZeroedInSnapshot) {
+  Registry reg;
+  (void)reg.histogram("empty", {1.0});
+  const auto snap = reg.snapshot();
+  const auto* v = snap.histogram("empty");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->count, 0u);
+  EXPECT_EQ(v->counts, (std::vector<std::uint64_t>{0, 0}));
+  EXPECT_DOUBLE_EQ(v->quantile(0.5), 0.0);
+}
+
+TEST(RegistryTest, ConcurrentShardsFoldToExactTotals) {
+  Registry reg;
+  const Counter c = reg.counter("events");
+  const Histogram h = reg.histogram("vals", {10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("events"), static_cast<std::uint64_t>(kThreads * kPerThread));
+  const auto* v = snap.histogram("vals");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(v->min, 0.0);
+  EXPECT_DOUBLE_EQ(v->max, kThreads - 1.0);
+}
+
+TEST(RegistryTest, JsonIsNameSortedAndRegistrationOrderIndependent) {
+  Registry first;
+  first.counter("b").add(2);
+  first.counter("a").add(1);
+  first.gauge("z").set(3.0);
+  Registry second; // same facts, opposite registration order
+  second.gauge("z").set(3.0);
+  second.counter("a").add(1);
+  second.counter("b").add(2);
+  EXPECT_EQ(first.jsonString(), second.jsonString());
+  const std::string json = first.jsonString();
+  EXPECT_NE(json.find("\"counters\":{\"a\":1,\"b\":2}"), std::string::npos) << json;
+}
+
+TEST(RegistryTest, HistogramJsonCarriesBucketsWithInfUpperBound) {
+  Registry reg;
+  reg.histogram("h", {1.0, 2.0}).observe(5.0);
+  const std::string json = reg.jsonString();
+  EXPECT_NE(json.find("\"le\":\"+Inf\",\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":1,\"sum\":5"), std::string::npos) << json;
+}
+
+TEST(TraceSinkTest, EmitsChromeTraceEventDocument) {
+  TraceSink sink;
+  sink.processName(1, "policy: fcfs");
+  sink.threadName(1, 0, "cluster");
+  sink.completeSpan("job", "run", 1000.0, 500.0, 1, 0, "{\"alloc\":4}");
+  sink.instant("backfill", "sched", 1200.0, 1, 0);
+  EXPECT_EQ(sink.eventCount(), 4u);
+  const std::string json = sink.jsonString();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"alloc\":4}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"name\":\"policy: fcfs\"}"), std::string::npos) << json;
+}
+
+TEST(TraceSinkTest, WriteFileFailsCleanlyOnBadPath) {
+  TraceSink sink;
+  EXPECT_FALSE(sink.writeFile("/nonexistent-dir/trace.json"));
+}
+
+TEST(ProgressMeterTest, RateLimitsAndExtrapolates) {
+  WallClock clock;
+  ProgressMeter meter(clock, /*minIntervalSec=*/3600.0);
+  EXPECT_TRUE(meter.due());  // first call always fires
+  EXPECT_FALSE(meter.due()); // within the interval
+  EXPECT_DOUBLE_EQ(ProgressMeter::etaSec(10.0, 5.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(ProgressMeter::etaSec(10.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(ProgressMeter::etaSec(10.0, 10.0, 10.0), 0.0);
+}
+
+} // namespace
+} // namespace dps::obs

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sched/cluster.hpp"
 
 namespace dps::sched {
@@ -424,6 +426,67 @@ TEST(ClusterTest, DeterministicAcrossRunsAndProfileJobs) {
   Equipartition a, b;
   EXPECT_EQ(simulateCluster(cfg, wl, serial, a).jsonString(),
             simulateCluster(cfg, wl, parallel, b).jsonString());
+}
+
+TEST(ClusterTest, ObservationDoesNotPerturbResults) {
+  // The obs:: contract: attaching a metrics registry and a trace sink is a
+  // read-only tap — the metrics JSON stays bit-identical for every policy,
+  // and the registry's counters restate the run's own aggregates.
+  const auto wl = tinyWorkload(1, 10, 2.0);
+  const auto table = JobProfileTable::build(wl.cfg.classes, 4, {}, 1);
+  for (const std::string& name : policyNames()) {
+    ClusterConfig plain;
+    plain.nodes = 4;
+    plain.easyBackfill = true;
+    auto p1 = makePolicy(name);
+    const auto bare = simulateCluster(plain, wl, table, *p1);
+
+    obs::Registry registry;
+    obs::TraceSink trace;
+    ClusterConfig observed = plain;
+    observed.metrics = &registry;
+    observed.metricsPrefix = "cluster.";
+    observed.trace = &trace;
+    auto p2 = makePolicy(name);
+    const auto traced = simulateCluster(observed, wl, table, *p2);
+
+    EXPECT_EQ(bare.jsonString(), traced.jsonString()) << name;
+    const auto snap = registry.snapshot();
+    EXPECT_EQ(snap.counter("cluster.events_processed"),
+              static_cast<std::uint64_t>(traced.events))
+        << name;
+    EXPECT_EQ(snap.counter("cluster.jobs_finished"), traced.jobs.size()) << name;
+    EXPECT_EQ(snap.counter("cluster.reallocations"),
+              static_cast<std::uint64_t>(traced.reallocations))
+        << name;
+    EXPECT_EQ(snap.counter("cluster.backfill_fires"),
+              static_cast<std::uint64_t>(traced.backfillFires))
+        << name;
+    EXPECT_DOUBLE_EQ(snap.gauge("cluster.makespan_sec"), traced.makespanSec) << name;
+    const auto* wait = snap.histogram("cluster.job_wait_sec");
+    ASSERT_NE(wait, nullptr) << name;
+    EXPECT_EQ(wait->count, traced.jobs.size()) << name;
+    // One queued span + one run span per job, at minimum.
+    EXPECT_GE(trace.eventCount(), 2 * traced.jobs.size()) << name;
+  }
+}
+
+TEST(ClusterTest, ReferenceLoopRecordsTheSameRegistryContents) {
+  // Both loops fold the identical run facts through recordClusterRun, so
+  // the observability layer cannot mask an optimized-loop divergence.
+  const auto wl = tinyWorkload(3, 10, 2.0);
+  const auto table = JobProfileTable::build(wl.cfg.classes, 4, {}, 1);
+  obs::Registry optReg, refReg;
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.easyBackfill = true;
+  cfg.metricsPrefix = "c.";
+  Equipartition a, b;
+  cfg.metrics = &optReg;
+  simulateCluster(cfg, wl, table, a);
+  cfg.metrics = &refReg;
+  simulateClusterReference(cfg, wl, table, b);
+  EXPECT_EQ(optReg.jsonString(), refReg.jsonString());
 }
 
 TEST(ClusterTest, EquipartitionBeatsFcfsRigidOnTheBenchDefaultWorkload) {

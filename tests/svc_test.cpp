@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "sched/cluster.hpp"
 #include "sched/engine_run.hpp"
 #include "sched/replay.hpp"
@@ -121,6 +122,72 @@ TEST(ProfileCacheTest, SingleFlightUnderContention) {
   EXPECT_EQ(cs.hits + cs.joined, static_cast<std::uint64_t>(kThreads - 1));
   for (int t = 1; t < kThreads; ++t)
     expectRecordsEqual(results[0], results[static_cast<std::size_t>(t)]);
+}
+
+TEST(ProfileCacheTest, RegistryCountersMirrorCacheStatsExactly) {
+  // The obs handles are bumped at the same statements as the CacheStats
+  // fields, including under single-flight contention — the registry view
+  // and stats() can never disagree.
+  const auto spec = tinySpec();
+  obs::Registry registry;
+  ProfileCache cache;
+  cache.attachRegistry(&registry);
+
+  cache.run(spec); // miss + engine run
+  cache.run(spec); // hit
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  const auto spec2 = sched::profileRunSpec(tinyMix()[1], 4, sched::ProfileSettings{});
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] { cache.run(spec2); });
+  for (auto& th : threads) th.join();
+
+  const auto cs = cache.stats();
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("svc.cache.hits"), cs.hits);
+  EXPECT_EQ(snap.counter("svc.cache.joined"), cs.joined);
+  EXPECT_EQ(snap.counter("svc.cache.misses"), cs.misses);
+  EXPECT_EQ(snap.counter("svc.cache.engine_runs"), cs.engineRuns);
+  EXPECT_EQ(cs.lookups(), static_cast<std::uint64_t>(2 + kThreads));
+  const auto* runSec = snap.histogram("svc.cache.run_sec");
+  ASSERT_NE(runSec, nullptr);
+  EXPECT_EQ(runSec->count, cs.engineRuns);
+  // Runs executed through the cache record engine.* into the same registry.
+  EXPECT_EQ(snap.counter("engine.runs"), cs.engineRuns);
+
+  // Detaching stops recording without touching the cache's own stats.
+  cache.attachRegistry(nullptr);
+  cache.run(spec);
+  EXPECT_EQ(registry.snapshot().counter("svc.cache.hits"), cs.hits);
+  EXPECT_EQ(cache.stats().hits, cs.hits + 1);
+}
+
+TEST(RequestQueueTest, RegistryCountersMirrorQueueAccounting) {
+  obs::Registry registry;
+  ProfileCache cache;
+  RequestQueue::Options opts;
+  opts.capacity = 2;
+  opts.workers = 0;
+  opts.metrics = &registry;
+  RequestQueue queue(cache, opts);
+
+  const auto spec = tinySpec();
+  EXPECT_TRUE(queue.submit(spec).accepted());
+  EXPECT_TRUE(queue.submit(spec).accepted());
+  EXPECT_FALSE(queue.submit(spec).accepted());
+  EXPECT_TRUE(queue.drainOne());
+  EXPECT_TRUE(queue.drainOne());
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("svc.queue.accepted"), 2u);
+  EXPECT_EQ(snap.counter("svc.queue.rejected"), queue.rejectedCount());
+  EXPECT_EQ(snap.counter("svc.queue.served"), queue.served());
+  EXPECT_DOUBLE_EQ(snap.gauge("svc.queue.depth_high_water"), 2.0);
+  const auto* lat = snap.histogram("svc.queue.latency_sec");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, queue.served());
+  EXPECT_GT(lat->sum, 0.0);
 }
 
 TEST(AcquireProfileTest, MatchesDirectBuildAtAnyJobCount) {

@@ -13,12 +13,19 @@
 // The warm start enters the evaluation history, so the reported best fit
 // never scores worse than the two-point fit; the process exits non-zero if
 // that invariant is ever violated.
+//
+// --metrics / --trace record the tool-level observability surface: wall-
+// clock spans for the warm-start fit and the search itself, plus counters
+// and gauges (evaluations run, warm/best scores) in an obs::Registry.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
 #include "experiments/autocal.hpp"
 #include "experiments/calibration.hpp"
+#include "obs/clock.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
@@ -29,7 +36,7 @@ using namespace dps;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   std::int64_t budget = 0, jobs = 0, seed = 0, rounds = 0;
-  std::string jsonPath, strategyName;
+  std::string jsonPath, strategyName, metricsPath, tracePath;
   bool wide = false;
   try {
     budget = cli.integer("budget", 32, "total candidate evaluations (warm start included)");
@@ -40,6 +47,11 @@ int main(int argc, char** argv) {
     wide = cli.flag("wide", "also search the fidelity-layer dimensions (local delivery, "
                             "per-transfer CPU, compute scale)");
     jsonPath = cli.str("json", "", "write the full report to this JSON file");
+    metricsPath = cli.str("metrics", "",
+                          "write the obs registry snapshot (calibrate.*) to this JSON file");
+    tracePath = cli.str("trace", "",
+                        "write a Chrome trace-event JSON of the warm-start and search phases "
+                        "(wall time) to this file");
     if (cli.helpRequested()) {
       std::printf("%s", cli.helpText().c_str());
       return 0;
@@ -58,11 +70,22 @@ int main(int argc, char** argv) {
   const exp::EngineSettings settings; // the reference fidelity profile
   const auto fidelitySeed = static_cast<std::uint64_t>(seed);
 
+  // Observability: wall-clock phase spans and search-level gauges, recorded
+  // only when the flags asked for files.
+  obs::Registry registry;
+  obs::TraceSink trace;
+  const obs::WallClock wall;
+  if (!tracePath.empty()) trace.processName(0, "dps_calibrate");
+
   // Warm start: the seeded two-point ping-pong fit through the fidelity
   // layer, exactly what a calibration benchmark measures on real hardware.
+  const double warmStartMicros = wall.elapsedMicros();
   const exp::ScenarioRunner runner(settings);
   const auto fit = exp::calibratePlatform(runner.referenceConfig(fidelitySeed), fidelitySeed,
                                           static_cast<int>(rounds));
+  if (!tracePath.empty())
+    trace.completeSpan("warm-start", "calibrate", warmStartMicros,
+                       wall.elapsedMicros() - warmStartMicros, 0, 0);
   exp::Candidate warm;
   warm.profile = exp::applyCalibration(settings.profile, fit);
   std::printf("warm start (two-point fit, seed %lld): l=%.1fus  b=%.2fMB/s  residual=%.4f\n",
@@ -95,7 +118,13 @@ int main(int argc, char** argv) {
   options.budget = total;
   options.jobs = static_cast<unsigned>(jobs);
   options.warmStart = space.encode(warm);
+  const double searchStartMicros = wall.elapsedMicros();
   const auto result = exp::runCalibrationSearch(objective, space, strategies, options);
+  if (!tracePath.empty())
+    trace.completeSpan("search", "calibrate", searchStartMicros,
+                       wall.elapsedMicros() - searchStartMicros, 0, 0,
+                       "{\"strategy\":\"" + strategyName +
+                           "\",\"budget\":" + std::to_string(budget) + "}");
 
   // Ranked report: best evaluations first.
   Table t("calibration search (" + std::to_string(result.history.records.size()) +
@@ -132,6 +161,30 @@ int main(int argc, char** argv) {
     exp::writeReportJson(os, result, objective, space, warm);
     os << "\n";
     std::printf("wrote %s\n", jsonPath.c_str());
+  }
+
+  if (!metricsPath.empty()) {
+    registry.counter("calibrate.evaluations")
+        .add(static_cast<std::uint64_t>(result.history.records.size()));
+    registry.counter("calibrate.scenarios")
+        .add(static_cast<std::uint64_t>(objective.scenarioCount()));
+    registry.gauge("calibrate.warm_score").set(warmScore);
+    registry.gauge("calibrate.best_score").set(best.score);
+    registry.gauge("calibrate.wall_sec").set(wall.elapsedSec());
+    std::ofstream os(metricsPath);
+    if (!os) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", metricsPath.c_str());
+      return 1;
+    }
+    os << registry.jsonString() << "\n";
+    std::printf("wrote %s\n", metricsPath.c_str());
+  }
+  if (!tracePath.empty()) {
+    if (!trace.writeFile(tracePath)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", tracePath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu trace events)\n", tracePath.c_str(), trace.eventCount());
   }
 
   if (best.score > warmScore) {

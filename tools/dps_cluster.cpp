@@ -21,11 +21,17 @@
 // for the dense-malleability workload, --progress for wall-clock/ETA lines,
 // --timeline-max to down-sample the JSON utilization timeline.
 //
+// Observability (--metrics / --trace): every policy's event loop records
+// cluster.<policy>.* counters/gauges/histograms into one obs::Registry and
+// emits per-job queued/run spans (simulated time, one pid lane per policy)
+// into one Chrome trace-event file.  Both are read-only taps — the cluster
+// results are bit-identical with and without them.
+//
 //   $ dps_cluster --nodes 8 --policy equipartition --seed 1
 //   $ dps_cluster --nodes 8 --policy grow-eager --backfill --replay
 //   $ dps_cluster --nodes 4096 --job-count 100000 --mix scaled --progress
+//   $ dps_cluster --smoke --trace trace.json --metrics metrics.json
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -33,6 +39,9 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/clock.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sched/cluster.hpp"
 #include "sched/replay.hpp"
 #include "support/cli.hpp"
@@ -60,10 +69,6 @@ std::string describeAllocs(const std::vector<std::int32_t>& allocs) {
   return os.str();
 }
 
-double elapsedSec(std::chrono::steady_clock::time_point since) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since).count();
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
@@ -71,7 +76,7 @@ int main(int argc, char** argv) {
   std::int64_t nodes = 0, seed = 0, jobCount = 0, jobs = 0;
   std::int64_t anchors = 0, timelineMax = 0, backfillDepth = 0;
   double arrivalRate = 0, threshold = 0;
-  std::string policyName, jsonPath, mixName;
+  std::string policyName, jsonPath, mixName, metricsPath, tracePath;
   bool smoke = false, backfill = false, replay = false;
   bool exactProfiles = false, progress = false;
   try {
@@ -85,6 +90,12 @@ int main(int argc, char** argv) {
     threshold = cli.real("threshold", 0.5, "efficiency-shrink release threshold");
     jobs = cli.integer("jobs", 0, "concurrent profile simulations (0 = hardware concurrency)");
     jsonPath = cli.str("json", "", "write the full report to this JSON file");
+    metricsPath = cli.str("metrics", "",
+                          "write the obs registry snapshot (cluster.<policy>.*, svc.cache.*, "
+                          "engine.*, mall.*) to this JSON file");
+    tracePath = cli.str("trace", "",
+                        "write a Chrome trace-event JSON (Perfetto-loadable) of every policy's "
+                        "event loop, in simulated time, to this file");
     mixName = cli.str("mix", "default",
                       "job mix: default | scaled (dense malleability levels for large machines)");
     anchors = cli.integer("anchors", 0,
@@ -142,22 +153,29 @@ int main(int argc, char** argv) {
               allocPoints, exactProfiles ? "exhaustively" : "via anchor interpolation",
               static_cast<long long>(jobs));
 
+  // Observability surfaces for the whole run: one registry (per-policy
+  // cluster.<policy>.* prefixes plus the svc.cache.* / engine.* / mall.*
+  // metrics the profile build records) and one trace sink (per-policy pid
+  // lanes in simulated time).  Both stay detached — and cost nothing —
+  // unless their flag asked for a file.
+  obs::Registry registry;
+  obs::TraceSink trace;
+  obs::Registry* const metrics = metricsPath.empty() ? nullptr : &registry;
+  obs::TraceSink* const traceSink = tracePath.empty() ? nullptr : &trace;
+
   sched::ProfileBuildOptions popts;
   popts.interpolate = !exactProfiles;
   popts.anchors = static_cast<std::int32_t>(anchors);
-  const auto buildStart = std::chrono::steady_clock::now();
+  const obs::WallClock buildClock;
   std::mutex progressMu;
-  auto lastPrint = buildStart;
+  obs::ProgressMeter buildMeter(buildClock, 0.5);
   if (progress) {
     popts.onRunDone = [&](std::size_t done, std::size_t planned) {
       std::lock_guard<std::mutex> lock(progressMu);
-      const auto now = std::chrono::steady_clock::now();
-      if (done != planned && std::chrono::duration<double>(now - lastPrint).count() < 0.5) return;
-      lastPrint = now;
-      const double elapsed = elapsedSec(buildStart);
-      const double eta = done > 0 ? elapsed / static_cast<double>(done) *
-                                        static_cast<double>(planned - done)
-                                  : 0.0;
+      if (done != planned && !buildMeter.due()) return;
+      const double elapsed = buildMeter.elapsedSec();
+      const double eta = obs::ProgressMeter::etaSec(elapsed, static_cast<double>(done),
+                                                    static_cast<double>(planned));
       std::fprintf(stderr, "profile build: %zu/%zu engine runs, %.1fs elapsed, ETA %.1fs\n",
                    done, planned, elapsed, eta);
     };
@@ -166,6 +184,7 @@ int main(int argc, char** argv) {
   // static histories replay the exact spec the profile build simulated, so
   // those runs are hits instead of fresh engine executions.
   svc::ProfileCache cache;
+  cache.attachRegistry(metrics);
   const auto profiles =
       svc::buildProfileTable(workload.cfg.classes, static_cast<std::int32_t>(nodes), settings,
                              static_cast<unsigned>(jobs), cache, popts);
@@ -173,7 +192,7 @@ int main(int argc, char** argv) {
   std::printf("profile table: %zu engine runs for %zu allocation points (%.1fx reduction, "
               "%.1fs)\n",
               binfo.engineRunPoints, binfo.profiledAllocs, binfo.runReduction(),
-              elapsedSec(buildStart));
+              buildClock.elapsedSec());
 
   Table prof("job profiles (per-phase model from PDEXEC runs)");
   prof.header({"class", "allocs", "phases", "best [s]", "state [MB]"});
@@ -191,20 +210,28 @@ int main(int argc, char** argv) {
   ccfg.easyBackfill = backfill;
   ccfg.backfillDepth = static_cast<std::int32_t>(backfillDepth);
   std::vector<sched::ClusterMetrics> results;
-  for (const std::string& name : sched::policyNames()) {
+  const auto policyList = sched::policyNames();
+  for (std::size_t pi = 0; pi < policyList.size(); ++pi) {
+    const std::string& name = policyList[pi];
     auto policy = name == "efficiency-shrink"
                       ? std::make_unique<sched::EfficiencyShrink>(threshold)
                       : sched::makePolicy(name);
-    const auto loopStart = std::chrono::steady_clock::now();
+    // Each policy records under its own metric prefix and trace pid lane,
+    // so one registry / one trace file carries the whole comparison.
+    ccfg.metrics = metrics;
+    ccfg.metricsPrefix = "cluster." + name + ".";
+    ccfg.trace = traceSink;
+    ccfg.tracePid = static_cast<std::int32_t>(pi);
+    if (traceSink != nullptr)
+      trace.processName(static_cast<std::int32_t>(pi), "policy: " + name);
+    const obs::WallClock loopClock;
     if (progress) {
       // Roughly one line per ~2% of jobs, with a floor so small runs stay
       // quiet and huge runs aren't spammed per event.
       ccfg.progressEvery = std::max<std::int64_t>(5000, workload.jobs.size());
       ccfg.onProgress = [&, name](const sched::ClusterProgress& p) {
-        const double elapsed = elapsedSec(loopStart);
-        const double eta = p.finishedJobs > 0
-                               ? elapsed / p.finishedJobs * (p.totalJobs - p.finishedJobs)
-                               : 0.0;
+        const double elapsed = loopClock.elapsedSec();
+        const double eta = obs::ProgressMeter::etaSec(elapsed, p.finishedJobs, p.totalJobs);
         std::fprintf(stderr,
                      "%s: %d/%d jobs done (%d running, %d queued), %lld events, sim "
                      "t=%.0fs, %.1fs elapsed, ETA %.1fs\n",
@@ -215,7 +242,7 @@ int main(int argc, char** argv) {
     results.push_back(sched::simulateCluster(ccfg, workload, profiles, *policy));
     if (progress)
       std::fprintf(stderr, "%s: done in %.1fs (%lld events)\n", name.c_str(),
-                   elapsedSec(loopStart), static_cast<long long>(results.back().events));
+                   loopClock.elapsedSec(), static_cast<long long>(results.back().events));
   }
 
   // Ranked comparison: best mean slowdown first.
@@ -314,6 +341,23 @@ int main(int argc, char** argv) {
     DPS_CHECK(w.closed(), "unbalanced cluster JSON");
     os << "\n";
     std::printf("wrote %s\n", jsonPath.c_str());
+  }
+
+  if (!metricsPath.empty()) {
+    std::ofstream os(metricsPath);
+    if (!os) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", metricsPath.c_str());
+      return 1;
+    }
+    os << registry.jsonString() << "\n";
+    std::printf("wrote %s\n", metricsPath.c_str());
+  }
+  if (!tracePath.empty()) {
+    if (!trace.writeFile(tracePath)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", tracePath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu trace events)\n", tracePath.c_str(), trace.eventCount());
   }
   return 0;
 }
