@@ -16,6 +16,7 @@
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "obs/recorder.hpp"
 #include "sched/cluster.hpp"
 #include "support/json.hpp"
 #include "svc/profile_cache.hpp"
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
     OnlineStats slowdown, utilization, wait;
     std::int32_t reallocations = 0;
     std::int32_t growthGrants = 0; // phase-boundary allocation increases
+    obs::WaitAttribution attr;     // summed integer-ns wait attribution
   };
   std::map<std::string, PolicyAgg> agg;
   std::ostringstream pointsJson;
@@ -77,6 +79,10 @@ int main(int argc, char** argv) {
         a.utilization.add(m.utilization);
         a.wait.add(m.meanWaitSec);
         a.reallocations += m.reallocations;
+        for (std::size_t r = 0; r < obs::kWaitReasonCount; ++r)
+          a.attr.byReason[r] += m.attribution.byReason[r];
+        a.attr.totalNs += m.attribution.totalNs;
+        a.attr.migrationDelayNs += m.attribution.migrationDelayNs;
         for (const auto& j : m.jobs)
           for (std::size_t p = 1; p < j.allocs.size(); ++p)
             a.growthGrants += j.allocs[p] > j.allocs[p - 1];
@@ -114,7 +120,7 @@ int main(int argc, char** argv) {
   std::ostringstream aggJson;
   JsonWriter aw(aggJson);
   aw.beginObject();
-  for (const auto& [name, a] : agg)
+  for (const auto& [name, a] : agg) {
     aw.key(name)
         .beginObject()
         .field("mean_slowdown", a.slowdown.mean())
@@ -122,7 +128,21 @@ int main(int argc, char** argv) {
         .field("mean_wait_sec", a.wait.mean())
         .field("reallocations", a.reallocations)
         .field("growth_grants", a.growthGrants)
+        .key("wait_attr")
+        .beginObject();
+    for (std::size_t r = 0; r < obs::kWaitReasonCount; ++r) {
+      std::string k = obs::waitReasonName(static_cast<obs::WaitReason>(r));
+      k += "_sec";
+      aw.field(k, static_cast<double>(a.attr.byReason[r]) * 1e-9);
+    }
+    aw.field("total_wait_sec", static_cast<double>(a.attr.totalNs) * 1e-9)
+        .field("migration_delay_sec", static_cast<double>(a.attr.migrationDelayNs) * 1e-9)
+        .field("dominant",
+               a.attr.totalNs > 0 ? obs::waitReasonName(a.attr.dominant()) : "none")
+        .field("dominant_share", a.attr.dominantShare())
+        .endObject()
         .endObject();
+  }
   aw.endObject();
   DPS_CHECK(aw.closed(), "unbalanced aggregate JSON");
 

@@ -56,11 +56,13 @@ public:
   explicit PinnedAlloc(std::vector<std::int32_t> byJob) : byJob_(std::move(byJob)) {}
   std::string name() const override { return "pinned"; }
   std::int32_t admit(const sched::QueuedJobView& job, const sched::ClassProfile&,
-                     const sched::ClusterView&) override {
+                     const sched::ClusterView&, sched::DecisionContext& ctx) override {
+    ctx.rule = "pinned";
     return byJob_.at(static_cast<std::size_t>(job.id));
   }
   std::int32_t reallocate(const sched::RunningJobView& job, const sched::ClassProfile&,
-                          const sched::ClusterView&) override {
+                          const sched::ClusterView&, sched::DecisionContext& ctx) override {
+    ctx.rule = "pinned";
     return job.nodes;
   }
 
@@ -160,8 +162,13 @@ int main(int argc, char** argv) {
         .field("jobs_per_sec", jobsPerSec)
         .field("makespan_sec", m.makespanSec)
         .field("utilization", m.utilization)
-        .field("mean_slowdown", m.meanSlowdown)
-        .endObject();
+        .field("mean_slowdown", m.meanSlowdown);
+    {
+      std::ostringstream attr;
+      m.writeAttributionJson(attr);
+      gw.key("wait_attr").raw(attr.str());
+    }
+    gw.endObject();
     lastOpt = m;
     lastCfg = ccfg;
     lastWorkload = workload;

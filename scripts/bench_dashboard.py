@@ -8,18 +8,21 @@ then the headline numbers of each artifact kind — so a PR's bench
 trajectory is one artifact download away instead of five JSON files.
 
 Usage:
-    bench_dashboard.py [--out SUMMARY.md] [file.json ...]
+    bench_dashboard.py [--out SUMMARY.md] [--strict] [file.json ...]
 
 With no files, globs the default artifact patterns in the current
 directory.  Unknown or partially-shaped files degrade to their check
 verdicts (or are listed as unrecognized) instead of failing the run;
-missing files are fine — the dashboard summarizes whatever exists.
-Exits non-zero only when an artifact records a failed [CHECK].
+missing or unreadable files are a warned skip (stderr, no section) so a
+fresh checkout renders cleanly.  Exits non-zero when an artifact records
+a failed [CHECK] — and, under --strict (CI), when any referenced
+artifact was missing or unreadable.
 """
 
 import argparse
 import glob
 import json
+import os
 import sys
 
 PATTERNS = ["BENCH_*.json", "CALIB_*.json", "CLUSTER_*.json",
@@ -47,6 +50,8 @@ def table(headers, rows):
 
 
 def checks_of(doc):
+    if not isinstance(doc, dict):
+        return []
     return [c for c in doc.get("checks", [])
             if isinstance(c, dict) and "claim" in c]
 
@@ -168,6 +173,8 @@ def section_server(doc):
 def render(path, doc):
     name = path.split("/")[-1]
     lines = [f"## {name}", ""]
+    if not isinstance(doc, dict):
+        return lines + ["(unrecognized shape; no summary extracted)", ""]
     lines += section_checks(doc)
     body = []
     if "grid" in doc or "baseline" in doc or "interpolation" in doc:
@@ -195,18 +202,26 @@ def main():
                     "(default: glob the standard patterns in cwd)")
     ap.add_argument("--out", default="BENCH_DASHBOARD.md",
                     help="markdown output path (default: %(default)s)")
+    ap.add_argument("--strict", action="store_true",
+                    help="missing or unreadable artifacts fail the run (CI)")
     args = ap.parse_args()
 
     paths = args.files or sorted(p for pat in PATTERNS for p in glob.glob(pat))
     out = ["# Bench dashboard", ""]
     total = passed = 0
-    parsed = 0
+    parsed = skipped = 0
     for path in paths:
+        if not os.path.exists(path):
+            print(f"warning: missing artifact {path}: skipped", file=sys.stderr)
+            skipped += 1
+            continue
         try:
             with open(path) as f:
                 doc = json.load(f)
         except (OSError, json.JSONDecodeError) as e:
-            out += [f"## {path.split('/')[-1]}", "", f"unreadable: {e}", ""]
+            print(f"warning: unreadable artifact {path}: {e}: skipped",
+                  file=sys.stderr)
+            skipped += 1
             continue
         parsed += 1
         checks = checks_of(doc)
@@ -215,13 +230,18 @@ def main():
         out += render(path, doc)
 
     out.insert(2, f"{parsed} artifacts; {passed}/{total} checks passed" +
-               (" :warning:" if passed < total else "") + "\n")
+               (" :warning:" if passed < total else "") +
+               (f"; {skipped} skipped" if skipped else "") + "\n")
     text = "\n".join(out)
     with open(args.out, "w") as f:
         f.write(text)
-    print(f"wrote {args.out} ({parsed} artifacts, {passed}/{total} checks)")
+    print(f"wrote {args.out} ({parsed} artifacts, {passed}/{total} checks"
+          + (f", {skipped} skipped" if skipped else "") + ")")
     if passed < total:
         print("failed checks present", file=sys.stderr)
+        return 1
+    if args.strict and skipped:
+        print(f"--strict: {skipped} artifacts missing/unreadable", file=sys.stderr)
         return 1
     return 0
 

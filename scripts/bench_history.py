@@ -55,12 +55,30 @@ def _policy(doc, name, field):
     return None
 
 
+def _policy_attr(doc, name, field):
+    """Reads the per-policy wait-attribution block dps_cluster emits."""
+    for p in doc.get("policies") or []:
+        if isinstance(p, dict) and p.get("policy") == name:
+            attr = p.get("attribution")
+            if isinstance(attr, dict):
+                v = attr.get(field)
+                return v if isinstance(v, (int, float)) else None
+    return None
+
+
 METRICS = {
     # dps_cluster --smoke report (deterministic seeded workload)
     "cluster.equipartition_mean_slowdown":
         (lambda d: _policy(d, "equipartition", "mean_slowdown"), "lower", True),
     "cluster.equipartition_utilization":
         (lambda d: _policy(d, "equipartition", "utilization"), "higher", True),
+    # wait attribution (deterministic): the share of queue wait behind the
+    # dominant reason — a concentration shift means scheduling behaviour
+    # changed, which should be a reviewed decision, not drift
+    "cluster.equipartition_dominant_wait_share":
+        (lambda d: _policy_attr(d, "equipartition", "dominant_share"), "lower", True),
+    "cluster.fcfs_total_wait_sec":
+        (lambda d: _policy_attr(d, "fcfs-rigid", "total_wait_sec"), "lower", True),
     # in-engine replay validation (deterministic prediction error)
     "replay.mean_abs_makespan_error":
         (lambda d: _dig(d, "replay", "makespan_error", "mean_abs"), "lower", True),

@@ -1,0 +1,475 @@
+#include "obs/recorder.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace dps::obs {
+
+const char* waitReasonName(WaitReason r) {
+  switch (r) {
+    case WaitReason::HeadOfLine: return "head_of_line";
+    case WaitReason::InsufficientFree: return "insufficient_free";
+    case WaitReason::PolicyHeld: return "policy_held";
+    case WaitReason::DepthCutoff: return "depth_cutoff";
+    case WaitReason::ShadowTime: return "shadow_time";
+  }
+  return "unknown";
+}
+
+const char* waitReasonLabel(WaitReason r) {
+  switch (r) {
+    case WaitReason::HeadOfLine: return "head-of-line blocked";
+    case WaitReason::InsufficientFree: return "insufficient free nodes";
+    case WaitReason::PolicyHeld: return "held by policy";
+    case WaitReason::DepthCutoff: return "backfill-depth cutoff";
+    case WaitReason::ShadowTime: return "shadow-time violation";
+  }
+  return "unknown";
+}
+
+WaitReason WaitAttribution::dominant() const {
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < kWaitReasonCount; ++r)
+    if (byReason[r] > byReason[best]) best = r;
+  return static_cast<WaitReason>(best);
+}
+
+double WaitAttribution::dominantShare() const {
+  if (totalNs <= 0) return 0;
+  return static_cast<double>(byReason[static_cast<std::size_t>(dominant())]) /
+         static_cast<double>(totalNs);
+}
+
+namespace {
+
+/// Fixed-point seconds for narratives (JSON keeps full %.17g precision).
+std::string sec3(double s) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+std::string mb(double bytes) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1e6);
+  return buf;
+}
+
+} // namespace
+
+Recorder::Recorder(double timeseriesCadenceSec) : cadenceSec_(timeseriesCadenceSec) {
+  DPS_CHECK(timeseriesCadenceSec >= 0, "recorder timeseries cadence must be >= 0");
+}
+
+void Recorder::beginRun(const std::string& policy, std::int32_t nodes, std::uint64_t seed) {
+  policy_ = policy;
+  nodes_ = nodes;
+  seed_ = seed;
+  makespanSec_ = 0;
+  decisions_.clear();
+  intervals_.clear();
+  jobs_.clear();
+  tsSec_.clear();
+  tsUsed_.clear();
+  tsFree_.clear();
+  tsRunning_.clear();
+  tsQueued_.clear();
+  used_ = running_ = queued_ = 0;
+  free_ = nodes;
+  nextSample_ = 0;
+}
+
+void Recorder::admitDecision(double tSec, std::int32_t job, std::int32_t want, std::int32_t alloc,
+                             std::int32_t freeNodes, bool started, WaitReason denial,
+                             const char* rule, double score, double threshold) {
+  Decision d;
+  d.kind = Kind::Admit;
+  d.tSec = tSec;
+  d.job = job;
+  d.want = want;
+  d.alloc = alloc;
+  d.freeNodes = freeNodes;
+  d.started = started;
+  d.reason = denial;
+  d.rule = rule;
+  d.score = score;
+  d.threshold = threshold;
+  decisions_.push_back(std::move(d));
+}
+
+void Recorder::backfillCandidate(double tSec, std::int32_t job, std::int32_t want,
+                                 std::int32_t alloc, std::int32_t freeNodes, std::int32_t spare,
+                                 bool started, WaitReason denial, const char* rule, double score,
+                                 double threshold) {
+  Decision d;
+  d.kind = Kind::Candidate;
+  d.tSec = tSec;
+  d.job = job;
+  d.want = want;
+  d.alloc = alloc;
+  d.freeNodes = freeNodes;
+  d.spare = spare;
+  d.started = started;
+  d.reason = denial;
+  d.rule = rule;
+  d.score = score;
+  d.threshold = threshold;
+  decisions_.push_back(std::move(d));
+}
+
+void Recorder::depthCutoff(double tSec, std::int32_t job) {
+  Decision d;
+  d.kind = Kind::Cutoff;
+  d.tSec = tSec;
+  d.job = job;
+  d.reason = WaitReason::DepthCutoff;
+  decisions_.push_back(std::move(d));
+}
+
+void Recorder::backfillPass(double tSec, std::int32_t headJob, std::int32_t headAlloc,
+                            double shadowSec, std::int32_t spare, std::int32_t considered,
+                            std::int32_t started) {
+  Decision d;
+  d.kind = Kind::Pass;
+  d.tSec = tSec;
+  d.job = headJob;
+  d.alloc = headAlloc;
+  d.shadowSec = shadowSec;
+  d.spare = spare;
+  d.considered = considered;
+  d.startedCount = started;
+  decisions_.push_back(std::move(d));
+}
+
+void Recorder::reallocDecision(double tSec, std::int32_t job, std::int32_t fromNodes,
+                               std::int32_t toNodes, std::int32_t freeNodes, double bytes,
+                               const char* rule, double score, double threshold) {
+  Decision d;
+  d.kind = Kind::Realloc;
+  d.tSec = tSec;
+  d.job = job;
+  d.fromNodes = fromNodes;
+  d.toNodes = toNodes;
+  d.freeNodes = freeNodes;
+  d.bytes = bytes;
+  d.rule = rule;
+  d.score = score;
+  d.threshold = threshold;
+  decisions_.push_back(std::move(d));
+}
+
+void Recorder::migrationDelay(double tSec, std::int32_t job, double delaySec, double bytes) {
+  Decision d;
+  d.kind = Kind::Migration;
+  d.tSec = tSec;
+  d.job = job;
+  d.delaySec = delaySec;
+  d.bytes = bytes;
+  decisions_.push_back(std::move(d));
+}
+
+void Recorder::waitInterval(std::int32_t job, double fromSec, double toSec, WaitReason reason) {
+  intervals_.push_back(Interval{job, fromSec, toSec, reason});
+}
+
+void Recorder::pushSample(double tSec) {
+  tsSec_.push_back(tSec);
+  tsUsed_.push_back(used_);
+  tsFree_.push_back(free_);
+  tsRunning_.push_back(running_);
+  tsQueued_.push_back(queued_);
+}
+
+void Recorder::flushSamples(double uptoSec) {
+  if (cadenceSec_ <= 0) return;
+  for (;;) {
+    const double s = static_cast<double>(nextSample_) * cadenceSec_;
+    if (s >= uptoSec) return;
+    pushSample(s);
+    ++nextSample_;
+  }
+}
+
+void Recorder::stateSample(double tSec, std::int32_t usedNodes, std::int32_t freeNodes,
+                           std::int32_t runningJobs, std::int32_t queuedJobs) {
+  // Samples strictly before this change carry the state standing since the
+  // previous one; a sample instant that coincides with tSec is emitted
+  // later, with the new state (last change at an instant wins).
+  flushSamples(tSec);
+  used_ = usedNodes;
+  free_ = freeNodes;
+  running_ = runningJobs;
+  queued_ = queuedJobs;
+}
+
+void Recorder::jobSummary(std::int32_t job, const std::string& klass, double arrivalSec,
+                          double startSec, double finishSec, bool backfilled,
+                          const WaitAttribution& attribution) {
+  JobRow row;
+  row.id = job;
+  row.klass = klass;
+  row.arrivalSec = arrivalSec;
+  row.startSec = startSec;
+  row.finishSec = finishSec;
+  row.backfilled = backfilled;
+  row.attribution = attribution;
+  jobs_.push_back(std::move(row));
+}
+
+void Recorder::endRun(double makespanSec) {
+  makespanSec_ = makespanSec;
+  if (cadenceSec_ <= 0) return;
+  // Flush the remaining instants up to and including the makespan with the
+  // final (idle) state.
+  for (;;) {
+    const double s = static_cast<double>(nextSample_) * cadenceSec_;
+    if (s > makespanSec) return;
+    pushSample(s);
+    ++nextSample_;
+  }
+}
+
+void Recorder::writeJson(std::ostream& os) const {
+  JsonWriter w(os);
+  w.beginObject()
+      .field("policy", policy_)
+      .field("nodes", nodes_)
+      .field("seed", seed_)
+      .field("makespan_sec", makespanSec_)
+      .field("decision_count", static_cast<std::uint64_t>(decisions_.size()));
+  w.key("wait_reasons").beginArray();
+  for (std::size_t r = 0; r < kWaitReasonCount; ++r)
+    w.value(waitReasonName(static_cast<WaitReason>(r)));
+  w.endArray();
+
+  w.key("decisions").beginArray();
+  for (const Decision& d : decisions_) {
+    w.beginObject();
+    switch (d.kind) {
+      case Kind::Admit:
+      case Kind::Candidate:
+        w.field("kind", d.kind == Kind::Admit ? "admit" : "backfill_candidate")
+            .field("t_sec", d.tSec)
+            .field("job", d.job)
+            .field("want", d.want)
+            .field("alloc", d.alloc)
+            .field("free", d.freeNodes);
+        if (d.kind == Kind::Candidate) w.field("spare", d.spare);
+        w.field("started", d.started);
+        if (!d.started) w.field("reason", waitReasonName(d.reason));
+        w.field("rule", d.rule).field("score", d.score).field("threshold", d.threshold);
+        break;
+      case Kind::Cutoff:
+        w.field("kind", "depth_cutoff").field("t_sec", d.tSec).field("job", d.job);
+        break;
+      case Kind::Pass:
+        w.field("kind", "backfill_pass")
+            .field("t_sec", d.tSec)
+            .field("head_job", d.job)
+            .field("head_alloc", d.alloc)
+            .field("shadow_sec", d.shadowSec)
+            .field("spare", d.spare)
+            .field("considered", d.considered)
+            .field("started", d.startedCount);
+        break;
+      case Kind::Realloc:
+        w.field("kind", "realloc")
+            .field("t_sec", d.tSec)
+            .field("job", d.job)
+            .field("from", d.fromNodes)
+            .field("to", d.toNodes)
+            .field("free", d.freeNodes)
+            .field("bytes", d.bytes)
+            .field("rule", d.rule)
+            .field("score", d.score)
+            .field("threshold", d.threshold);
+        break;
+      case Kind::Migration:
+        w.field("kind", "migration")
+            .field("t_sec", d.tSec)
+            .field("job", d.job)
+            .field("delay_sec", d.delaySec)
+            .field("bytes", d.bytes);
+        break;
+    }
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("wait_intervals").beginArray();
+  for (const Interval& iv : intervals_)
+    w.beginObject()
+        .field("job", iv.job)
+        .field("from_sec", iv.fromSec)
+        .field("to_sec", iv.toSec)
+        .field("reason", waitReasonName(iv.reason))
+        .endObject();
+  w.endArray();
+
+  w.key("jobs").beginArray();
+  for (const JobRow& j : jobs_) {
+    w.beginObject()
+        .field("id", j.id)
+        .field("class", j.klass)
+        .field("arrival_sec", j.arrivalSec)
+        .field("start_sec", j.startSec)
+        .field("finish_sec", j.finishSec)
+        .field("backfilled", j.backfilled);
+    w.key("wait_ns").beginObject();
+    for (std::size_t r = 0; r < kWaitReasonCount; ++r)
+      w.field(waitReasonName(static_cast<WaitReason>(r)), j.attribution.byReason[r]);
+    w.field("total", j.attribution.totalNs).endObject();
+    w.field("migration_delay_ns", j.attribution.migrationDelayNs)
+        .field("dominant", j.attribution.totalNs > 0
+                               ? waitReasonName(j.attribution.dominant())
+                               : "none")
+        .field("dominant_share", j.attribution.dominantShare())
+        .endObject();
+  }
+  w.endArray();
+
+  w.key("timeseries")
+      .beginObject()
+      .field("cadence_sec", cadenceSec_)
+      .field("points", static_cast<std::uint64_t>(tsSec_.size()));
+  w.key("t_sec").beginArray();
+  for (double t : tsSec_) w.value(t);
+  w.endArray();
+  w.key("used_nodes").beginArray();
+  for (std::int32_t v : tsUsed_) w.value(v);
+  w.endArray();
+  w.key("free_nodes").beginArray();
+  for (std::int32_t v : tsFree_) w.value(v);
+  w.endArray();
+  w.key("running_jobs").beginArray();
+  for (std::int32_t v : tsRunning_) w.value(v);
+  w.endArray();
+  w.key("queue_depth").beginArray();
+  for (std::int32_t v : tsQueued_) w.value(v);
+  w.endArray();
+  w.key("utilization").beginArray();
+  for (std::int32_t v : tsUsed_)
+    w.value(nodes_ > 0 ? static_cast<double>(v) / static_cast<double>(nodes_) : 0.0);
+  w.endArray().endObject();
+
+  w.endObject();
+  DPS_CHECK(w.closed(), "unbalanced recorder JSON");
+}
+
+std::string Recorder::jsonString() const {
+  std::ostringstream os;
+  writeJson(os);
+  return os.str();
+}
+
+std::string Recorder::explain(std::int32_t job) const {
+  const JobRow* row = nullptr;
+  for (const JobRow& j : jobs_)
+    if (j.id == job) row = &j;
+  std::ostringstream os;
+  if (row == nullptr) {
+    os << "job " << job << ": not found in this record (policy " << policy_ << ")\n";
+    return os.str();
+  }
+
+  const WaitAttribution& wa = row->attribution;
+  const double waitSec = static_cast<double>(wa.totalNs) * 1e-9;
+  os << "job " << row->id << " (" << row->klass << ") under " << policy_ << ": arrived t="
+     << sec3(row->arrivalSec) << "s, started t=" << sec3(row->startSec) << "s"
+     << (row->backfilled ? " (backfilled)" : "") << ", finished t=" << sec3(row->finishSec)
+     << "s\n";
+  os << "queue wait " << sec3(waitSec) << "s";
+  if (wa.totalNs > 0) {
+    os << ", attributed to:";
+    bool any = false;
+    for (std::size_t r = 0; r < kWaitReasonCount; ++r) {
+      if (wa.byReason[r] <= 0) continue;
+      const double frac =
+          static_cast<double>(wa.byReason[r]) / static_cast<double>(wa.totalNs) * 100.0;
+      char pct[16];
+      std::snprintf(pct, sizeof(pct), "%.0f%%", frac);
+      os << (any ? "; " : " ") << waitReasonLabel(static_cast<WaitReason>(r)) << " "
+         << sec3(static_cast<double>(wa.byReason[r]) * 1e-9) << "s (" << pct << ")";
+      any = true;
+    }
+    os << "\ndominant wait reason: " << waitReasonLabel(wa.dominant()) << "\n";
+  } else {
+    os << " (started on arrival)\n";
+  }
+  if (wa.migrationDelayNs > 0)
+    os << "migration stalls while running: " << sec3(static_cast<double>(wa.migrationDelayNs) * 1e-9)
+       << "s\n";
+
+  os << "timeline:\n";
+  os << "  t=" << sec3(row->arrivalSec) << "s  arrived\n";
+  // Merge this job's decisions (by decision time) and wait intervals (by
+  // close time; on a tie the interval reads first — it led up to the
+  // decision that closed it).  Both streams are chronological per job.
+  std::vector<const Decision*> ds;
+  for (const Decision& d : decisions_)
+    if (d.job == job) ds.push_back(&d);
+  std::vector<const Interval*> ivs;
+  for (const Interval& iv : intervals_)
+    if (iv.job == job) ivs.push_back(&iv);
+  std::size_t di = 0, ii = 0;
+  while (di < ds.size() || ii < ivs.size()) {
+    const bool takeInterval =
+        ii < ivs.size() && (di >= ds.size() || ivs[ii]->toSec <= ds[di]->tSec);
+    if (takeInterval) {
+      const Interval& iv = *ivs[ii++];
+      os << "  t=" << sec3(iv.fromSec) << "s -> " << sec3(iv.toSec) << "s  waited "
+         << sec3(iv.toSec - iv.fromSec) << "s: " << waitReasonLabel(iv.reason) << "\n";
+      continue;
+    }
+    const Decision& d = *ds[di++];
+    os << "  t=" << sec3(d.tSec) << "s  ";
+    switch (d.kind) {
+      case Kind::Admit:
+      case Kind::Candidate: {
+        const char* where = d.kind == Kind::Admit ? "admit" : "backfill";
+        if (d.started) {
+          os << where << ": started on " << d.alloc << " nodes";
+        } else {
+          os << where << ": held — " << waitReasonLabel(d.reason) << " (want " << d.want
+             << ", alloc " << d.alloc << ", free " << d.freeNodes;
+          if (d.kind == Kind::Candidate) os << ", spare " << d.spare;
+          os << ")";
+        }
+        if (!d.rule.empty()) os << " [rule=" << d.rule << "]";
+        os << "\n";
+        break;
+      }
+      case Kind::Cutoff:
+        os << "backfill pass skipped this job: " << waitReasonLabel(WaitReason::DepthCutoff)
+           << "\n";
+        break;
+      case Kind::Pass:
+        os << "backfill pass for this blocked head: reservation of " << d.alloc << " nodes at t="
+           << sec3(d.shadowSec) << "s (spare " << d.spare << "), considered " << d.considered
+           << ", started " << d.startedCount << "\n";
+        break;
+      case Kind::Realloc:
+        os << "realloc " << d.fromNodes << " -> " << d.toNodes << " ("
+           << (d.toNodes < d.fromNodes ? "shrink" : "grow") << ", " << mb(d.bytes) << " moved)";
+        if (!d.rule.empty()) {
+          os << " [rule=" << d.rule;
+          if (d.threshold > 0) os << ", score " << sec3(d.score) << " vs threshold "
+                                  << sec3(d.threshold);
+          os << "]";
+        }
+        os << "\n";
+        break;
+      case Kind::Migration:
+        os << "migration stall " << sec3(d.delaySec) << "s (" << mb(d.bytes) << ")\n";
+        break;
+    }
+  }
+  os << "  t=" << sec3(row->finishSec) << "s  finished\n";
+  return os.str();
+}
+
+} // namespace dps::obs

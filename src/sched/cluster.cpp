@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "des/scheduler.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "sched/observe.hpp"
 #include "support/error.hpp"
@@ -53,6 +54,8 @@ public:
   }
 
   ClusterMetrics run() {
+    if (cfg_.recorder != nullptr)
+      cfg_.recorder->beginRun(policy_.name(), cfg_.nodes, workload_.cfg.seed);
     metrics_.timeline.push_back(UtilizationPoint{0.0, 0});
     for (std::size_t i = 0; i < workload_.jobs.size(); ++i)
       sched_.scheduleAt(simEpoch() + seconds(workload_.jobs[i].arrivalSec),
@@ -92,10 +95,17 @@ private:
     /// Cached &profile.at(nodes) while running.
     const PhaseProfile* prof = nullptr;
     FinishIndex::iterator finishIt;
+    /// Wait attribution (integer SimTime ticks, so buckets telescope to
+    /// exactly start - arrival): the tick the job arrived, the tick its
+    /// current wait interval opened, and that interval's reason.
+    std::int64_t arrivalNs = 0;
+    std::int64_t waitSinceNs = 0;
+    obs::WaitReason waitReason = obs::WaitReason::HeadOfLine;
     JobOutcome out;
   };
 
   double nowSec() const { return toSeconds(sched_.now().time_since_epoch()); }
+  std::int64_t nowNs() const { return sched_.now().time_since_epoch().count(); }
 
   const ClassProfile& profileOf(std::size_t i) const {
     return profiles_.of(workload_.jobs[i].klass);
@@ -110,7 +120,54 @@ private:
     return v;
   }
 
-  void recordUse() { metrics_.recordUse(nowSec(), cfg_.nodes - free_); }
+  void recordUse() {
+    metrics_.recordUse(nowSec(), cfg_.nodes - free_);
+    recordState();
+  }
+
+  /// Feeds the recorder's timeseries after any cluster state change (also
+  /// called on arrivals, where only the queue depth moves).
+  void recordState() {
+    if (cfg_.recorder != nullptr)
+      cfg_.recorder->stateSample(nowSec(), cfg_.nodes - free_, free_, running_, queuedLive_);
+  }
+
+  /// Closes job i's open wait interval at `t` (no-op when zero-length):
+  /// banks the integer-ns bucket, hands the interval to the recorder, and
+  /// emits the trace child span under the job's queued span.
+  void closeWait(JobRt& rt, std::int64_t t) {
+    if (t <= rt.waitSinceNs) return;
+    rt.out.wait.byReason[static_cast<std::size_t>(rt.waitReason)] += t - rt.waitSinceNs;
+    if (cfg_.recorder != nullptr)
+      cfg_.recorder->waitInterval(rt.out.id, static_cast<double>(rt.waitSinceNs) * 1e-9,
+                                  static_cast<double>(t) * 1e-9, rt.waitReason);
+    if (cfg_.trace != nullptr)
+      cfg_.trace->completeSpan(obs::waitReasonName(rt.waitReason), "wait",
+                               static_cast<double>(rt.waitSinceNs) * 1e-3,
+                               static_cast<double>(t - rt.waitSinceNs) * 1e-3, cfg_.tracePid,
+                               rt.out.id);
+  }
+
+  /// Re-attributes job i's wait from now on: a changed reason closes the
+  /// open interval and opens a new one; the same reason lets it run on.
+  void markWait(std::size_t i, obs::WaitReason reason) {
+    JobRt& rt = jobs_[i];
+    if (reason == rt.waitReason) return;
+    const std::int64_t t = nowNs();
+    closeWait(rt, t);
+    rt.waitSinceNs = t;
+    rt.waitReason = reason;
+  }
+
+  /// Seals job i's attribution at start: closes the last interval under
+  /// its standing reason.  Telescoping makes the invariant exact:
+  /// sum(byReason) == totalNs == start tick - arrival tick.
+  void closeWaitFinal(std::size_t i) {
+    JobRt& rt = jobs_[i];
+    const std::int64_t t = nowNs();
+    closeWait(rt, t);
+    rt.out.wait.totalNs = t - rt.arrivalNs;
+  }
 
   /// Re-registers job i in the running-set index under its current
   /// (estFinishSec, nodes); call after either changes.
@@ -183,9 +240,13 @@ private:
 
   void onArrival(std::size_t i) {
     ++events_;
-    jobs_[i].queued = true;
+    JobRt& rt = jobs_[i];
+    rt.queued = true;
+    rt.arrivalNs = rt.waitSinceNs = nowNs();
+    rt.waitReason = obs::WaitReason::HeadOfLine;
     queue_.push_back(i);
     ++queuedLive_;
+    recordState();
     admissionScan();
     maybeProgress();
   }
@@ -203,13 +264,30 @@ private:
       QueuedJobView qv;
       qv.id = jobs_[i].out.id;
       qv.waitedSec = nowSec() - jobs_[i].out.arrivalSec;
-      const std::int32_t want = policy_.admit(qv, profile, view());
-      if (want <= 0) return; // the policy itself keeps the head queued
-      const std::int32_t alloc = profile.clampFeasible(std::min(want, profile.maxNodes()));
-      if (alloc > free_) { // head-of-line blocked until nodes free up
-        if (cfg_.easyBackfill) backfillScan(alloc);
+      DecisionContext ctx;
+      const std::int32_t want = policy_.admit(qv, profile, view(), ctx);
+      if (want <= 0) { // the policy itself keeps the head queued
+        markWait(i, obs::WaitReason::PolicyHeld);
+        if (cfg_.recorder != nullptr)
+          cfg_.recorder->admitDecision(nowSec(), qv.id, want, 0, free_, false,
+                                       obs::WaitReason::PolicyHeld, ctx.rule, ctx.score,
+                                       ctx.threshold);
         return;
       }
+      const std::int32_t alloc = profile.clampFeasible(std::min(want, profile.maxNodes()));
+      if (alloc > free_) { // head-of-line blocked until nodes free up
+        markWait(i, obs::WaitReason::InsufficientFree);
+        if (cfg_.recorder != nullptr)
+          cfg_.recorder->admitDecision(nowSec(), qv.id, want, alloc, free_, false,
+                                       obs::WaitReason::InsufficientFree, ctx.rule, ctx.score,
+                                       ctx.threshold);
+        if (cfg_.easyBackfill) backfillScan(i, alloc);
+        return;
+      }
+      if (cfg_.recorder != nullptr)
+        cfg_.recorder->admitDecision(nowSec(), qv.id, want, alloc, free_, true,
+                                     obs::WaitReason::HeadOfLine, ctx.rule, ctx.score,
+                                     ctx.threshold);
       queue_.pop_front();
       jobs_[i].queued = false;
       --queuedLive_;
@@ -224,7 +302,7 @@ private:
   /// if it cannot delay that reservation: it finishes before the shadow
   /// time, or it fits into the `spare` nodes left over once the head
   /// starts.
-  void backfillScan(std::int32_t headAlloc) {
+  void backfillScan(std::size_t head, std::int32_t headAlloc) {
     const double now = nowSec();
     std::int32_t avail = free_;
     double shadow = -1;
@@ -237,10 +315,16 @@ private:
         break;
       }
     }
-    if (shadow < 0) return; // the head can never fit; nothing to reserve
+    if (shadow < 0) { // the head can never fit; nothing to reserve
+      if (cfg_.recorder != nullptr)
+        cfg_.recorder->backfillPass(now, jobs_[head].out.id, headAlloc, -1, 0, 0, 0);
+      return;
+    }
+    const std::int32_t spare0 = spare;
 
     bool pastHead = false;
     std::int32_t considered = 0;
+    std::int32_t started = 0;
     for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
       const std::size_t i = queue_[qi];
       if (!jobs_[i].queued) continue; // tombstone of an already-started job
@@ -248,29 +332,67 @@ private:
         pastHead = true;
         continue;
       }
-      if (cfg_.backfillDepth > 0 && considered >= cfg_.backfillDepth) break;
+      if (cfg_.backfillDepth > 0 && considered >= cfg_.backfillDepth) {
+        // Only this first excluded candidate is re-attributed (O(1) per
+        // pass); deeper jobs stay head-of-line — the scan was never going
+        // to reach them anyway.
+        markWait(i, obs::WaitReason::DepthCutoff);
+        if (cfg_.recorder != nullptr) cfg_.recorder->depthCutoff(now, jobs_[i].out.id);
+        break;
+      }
       ++considered;
       const ClassProfile& profile = profileOf(i);
       QueuedJobView qv;
       qv.id = jobs_[i].out.id;
       qv.waitedSec = now - jobs_[i].out.arrivalSec;
-      const std::int32_t want = policy_.admit(qv, profile, view());
-      if (want <= 0) continue;
+      DecisionContext ctx;
+      const std::int32_t want = policy_.admit(qv, profile, view(), ctx);
+      if (want <= 0) {
+        markWait(i, obs::WaitReason::PolicyHeld);
+        if (cfg_.recorder != nullptr)
+          cfg_.recorder->backfillCandidate(now, qv.id, want, 0, free_, spare, false,
+                                           obs::WaitReason::PolicyHeld, ctx.rule, ctx.score,
+                                           ctx.threshold);
+        continue;
+      }
       const std::int32_t alloc = profile.clampFeasible(std::min(want, profile.maxNodes()));
-      if (alloc > free_) continue;
+      if (alloc > free_) {
+        markWait(i, obs::WaitReason::InsufficientFree);
+        if (cfg_.recorder != nullptr)
+          cfg_.recorder->backfillCandidate(now, qv.id, want, alloc, free_, spare, false,
+                                           obs::WaitReason::InsufficientFree, ctx.rule, ctx.score,
+                                           ctx.threshold);
+        continue;
+      }
       const bool finishesInTime = now + profile.at(alloc).totalSec <= shadow + 1e-9;
-      if (!finishesInTime && alloc > spare) continue;
+      if (!finishesInTime && alloc > spare) {
+        markWait(i, obs::WaitReason::ShadowTime);
+        if (cfg_.recorder != nullptr)
+          cfg_.recorder->backfillCandidate(now, qv.id, want, alloc, free_, spare, false,
+                                           obs::WaitReason::ShadowTime, ctx.rule, ctx.score,
+                                           ctx.threshold);
+        continue;
+      }
+      if (cfg_.recorder != nullptr)
+        cfg_.recorder->backfillCandidate(now, qv.id, want, alloc, free_, spare, true,
+                                         obs::WaitReason::HeadOfLine, ctx.rule, ctx.score,
+                                         ctx.threshold);
       if (!finishesInTime) spare -= alloc; // occupies part of the surplus past the shadow
       jobs_[i].queued = false;
       --queuedLive_;
       jobs_[i].out.backfilled = true;
+      ++started;
       if (cfg_.trace != nullptr) traceBackfill(jobs_[i], alloc, shadow, spare);
       startJob(i, alloc);
     }
+    if (cfg_.recorder != nullptr)
+      cfg_.recorder->backfillPass(now, jobs_[head].out.id, headAlloc, shadow, spare0, considered,
+                                  started);
   }
 
   void startJob(std::size_t i, std::int32_t alloc) {
     JobRt& rt = jobs_[i];
+    closeWaitFinal(i);
     free_ -= alloc;
     ++running_;
     rt.nodes = alloc;
@@ -317,7 +439,8 @@ private:
     rv.phase = rt.phase;
     rv.phases = profile.phases();
     rv.efficiencyNext = rt.prof->phaseEff[static_cast<std::size_t>(rt.phase)];
-    std::int32_t target = profile.clampFeasible(policy_.reallocate(rv, profile, view()));
+    DecisionContext ctx;
+    std::int32_t target = profile.clampFeasible(policy_.reallocate(rv, profile, view(), ctx));
     if (target > rt.nodes) // growth comes out of currently free nodes only
       target = std::min(target, profile.clampFeasible(rt.nodes + free_));
 
@@ -327,6 +450,9 @@ private:
       return;
     }
     const double bytes = profile.migrationBytes(rt.phase, rt.nodes, target);
+    if (cfg_.recorder != nullptr)
+      cfg_.recorder->reallocDecision(nowSec(), rt.out.id, rt.nodes, target, free_, bytes, ctx.rule,
+                                     ctx.score, ctx.threshold);
     if (cfg_.trace != nullptr) traceRealloc(rt, rt.nodes, target, bytes);
     if (target < rt.nodes) {
       free_ += rt.nodes - target; // released nodes stop computing now
@@ -346,6 +472,9 @@ private:
     if (cfg_.chargeMigration) {
       const SimDuration delay =
           cfg_.migrationLatency + seconds(bytes / cfg_.migrationBandwidthBytesPerSec);
+      rt.out.wait.migrationDelayNs += delay.count();
+      if (cfg_.recorder != nullptr)
+        cfg_.recorder->migrationDelay(nowSec(), rt.out.id, toSeconds(delay), bytes);
       if (cfg_.trace != nullptr) traceMigration(rt, delay, bytes);
       rt.estFinishSec = nowSec() + toSeconds(delay) + rt.prof->remainingFrom(rt.phase);
       updateFinishIndex(i);

@@ -40,6 +40,7 @@
 #include "sched/workload.hpp"
 
 namespace dps::obs {
+class Recorder;
 class Registry;
 class TraceSink;
 } // namespace dps::obs
@@ -94,6 +95,15 @@ struct ClusterConfig {
   obs::TraceSink* trace = nullptr;
   /// Trace process lane, so several policies share one trace file.
   std::int32_t tracePid = 0;
+  /// Flight recorder: the full decision audit log (admit/hold verdicts
+  /// with typed wait reasons, backfill passes and candidates, realloc
+  /// grants with policy rationale), per-job wait intervals, and the
+  /// simulated-time timeseries.  BOTH loops feed it from the same semantic
+  /// points, so equal recorder contents across loops is a per-decision
+  /// correctness check.  Null = off (zero cost); wait *attribution* is
+  /// always-on integer bookkeeping either way, so metrics JSON is
+  /// bit-identical with and without a recorder.
+  obs::Recorder* recorder = nullptr;
 
   static ClusterConfig fromProfile(const net::PlatformProfile& p, std::int32_t nodes) {
     ClusterConfig cfg;

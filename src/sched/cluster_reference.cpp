@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "des/scheduler.hpp"
+#include "obs/recorder.hpp"
 #include "sched/observe.hpp"
 #include "support/error.hpp"
 
@@ -53,6 +54,8 @@ public:
   }
 
   ClusterMetrics run() {
+    if (cfg_.recorder != nullptr)
+      cfg_.recorder->beginRun(policy_.name(), cfg_.nodes, workload_.cfg.seed);
     metrics_.timeline.push_back(UtilizationPoint{0.0, 0});
     for (std::size_t i = 0; i < workload_.jobs.size(); ++i)
       sched_.scheduleAt(simEpoch() + seconds(workload_.jobs[i].arrivalSec),
@@ -80,10 +83,16 @@ private:
     /// Profile-estimated finish assuming the current allocation holds —
     /// the running-job knowledge EASY backfill reserves against.
     double estFinishSec = 0;
+    /// Wait attribution (integer SimTime ticks — see the optimized loop;
+    /// both loops must bank identical buckets and recorder intervals).
+    std::int64_t arrivalNs = 0;
+    std::int64_t waitSinceNs = 0;
+    obs::WaitReason waitReason = obs::WaitReason::HeadOfLine;
     JobOutcome out;
   };
 
   double nowSec() const { return toSeconds(sched_.now().time_since_epoch()); }
+  std::int64_t nowNs() const { return sched_.now().time_since_epoch().count(); }
 
   const ClassProfile& profileOf(std::size_t i) const {
     return profiles_.of(workload_.jobs[i].klass);
@@ -98,7 +107,42 @@ private:
     return v;
   }
 
-  void recordUse() { metrics_.recordUse(nowSec(), cfg_.nodes - free_); }
+  void recordUse() {
+    metrics_.recordUse(nowSec(), cfg_.nodes - free_);
+    recordState();
+  }
+
+  /// Same state-change sample points as the optimized loop (the reference
+  /// queue holds no tombstones, so its raw size is the live queue depth).
+  void recordState() {
+    if (cfg_.recorder != nullptr)
+      cfg_.recorder->stateSample(nowSec(), cfg_.nodes - free_, free_, running_,
+                                 static_cast<std::int32_t>(queue_.size()));
+  }
+
+  void closeWait(JobRt& rt, std::int64_t t) {
+    if (t <= rt.waitSinceNs) return;
+    rt.out.wait.byReason[static_cast<std::size_t>(rt.waitReason)] += t - rt.waitSinceNs;
+    if (cfg_.recorder != nullptr)
+      cfg_.recorder->waitInterval(rt.out.id, static_cast<double>(rt.waitSinceNs) * 1e-9,
+                                  static_cast<double>(t) * 1e-9, rt.waitReason);
+  }
+
+  void markWait(std::size_t i, obs::WaitReason reason) {
+    JobRt& rt = jobs_[i];
+    if (reason == rt.waitReason) return;
+    const std::int64_t t = nowNs();
+    closeWait(rt, t);
+    rt.waitSinceNs = t;
+    rt.waitReason = reason;
+  }
+
+  void closeWaitFinal(std::size_t i) {
+    JobRt& rt = jobs_[i];
+    const std::int64_t t = nowNs();
+    closeWait(rt, t);
+    rt.out.wait.totalNs = t - rt.arrivalNs;
+  }
 
   void maybeProgress() {
     if (cfg_.progressEvery <= 0 || !cfg_.onProgress) return;
@@ -116,7 +160,11 @@ private:
 
   void onArrival(std::size_t i) {
     ++events_;
+    JobRt& rt = jobs_[i];
+    rt.arrivalNs = rt.waitSinceNs = nowNs();
+    rt.waitReason = obs::WaitReason::HeadOfLine;
     queue_.push_back(i);
+    recordState();
     admissionScan();
     maybeProgress();
   }
@@ -132,13 +180,30 @@ private:
       QueuedJobView qv;
       qv.id = jobs_[i].out.id;
       qv.waitedSec = nowSec() - jobs_[i].out.arrivalSec;
-      const std::int32_t want = policy_.admit(qv, profile, view());
-      if (want <= 0) return; // the policy itself keeps the head queued
-      const std::int32_t alloc = profile.clampFeasible(std::min(want, profile.maxNodes()));
-      if (alloc > free_) { // head-of-line blocked until nodes free up
-        if (cfg_.easyBackfill) backfillScan(alloc);
+      DecisionContext ctx;
+      const std::int32_t want = policy_.admit(qv, profile, view(), ctx);
+      if (want <= 0) { // the policy itself keeps the head queued
+        markWait(i, obs::WaitReason::PolicyHeld);
+        if (cfg_.recorder != nullptr)
+          cfg_.recorder->admitDecision(nowSec(), qv.id, want, 0, free_, false,
+                                       obs::WaitReason::PolicyHeld, ctx.rule, ctx.score,
+                                       ctx.threshold);
         return;
       }
+      const std::int32_t alloc = profile.clampFeasible(std::min(want, profile.maxNodes()));
+      if (alloc > free_) { // head-of-line blocked until nodes free up
+        markWait(i, obs::WaitReason::InsufficientFree);
+        if (cfg_.recorder != nullptr)
+          cfg_.recorder->admitDecision(nowSec(), qv.id, want, alloc, free_, false,
+                                       obs::WaitReason::InsufficientFree, ctx.rule, ctx.score,
+                                       ctx.threshold);
+        if (cfg_.easyBackfill) backfillScan(i, alloc);
+        return;
+      }
+      if (cfg_.recorder != nullptr)
+        cfg_.recorder->admitDecision(nowSec(), qv.id, want, alloc, free_, true,
+                                     obs::WaitReason::HeadOfLine, ctx.rule, ctx.score,
+                                     ctx.threshold);
       queue_.pop_front();
       startJob(i, alloc);
     }
@@ -151,7 +216,7 @@ private:
   /// if it cannot delay that reservation: it finishes before the shadow
   /// time, or it fits into the `spare` nodes left over once the head
   /// starts.
-  void backfillScan(std::int32_t headAlloc) {
+  void backfillScan(std::size_t head, std::int32_t headAlloc) {
     std::vector<std::pair<double, std::int32_t>> frees; // (est finish, nodes)
     for (const JobRt& rt : jobs_)
       if (rt.nodes > 0 && !rt.finished) frees.emplace_back(rt.estFinishSec, rt.nodes);
@@ -168,38 +233,78 @@ private:
         break;
       }
     }
-    if (shadow < 0) return; // the head can never fit; nothing to reserve
+    if (shadow < 0) { // the head can never fit; nothing to reserve
+      if (cfg_.recorder != nullptr)
+        cfg_.recorder->backfillPass(now, jobs_[head].out.id, headAlloc, -1, 0, 0, 0);
+      return;
+    }
+    const std::int32_t spare0 = spare;
 
     std::int32_t considered = 0;
+    std::int32_t startedCount = 0;
     for (std::size_t qi = 1; qi < queue_.size();) {
-      if (cfg_.backfillDepth > 0 && considered >= cfg_.backfillDepth) break;
+      if (cfg_.backfillDepth > 0 && considered >= cfg_.backfillDepth) {
+        // queue_[qi] is the first excluded candidate (the reference queue
+        // holds no tombstones) — the same job the optimized loop marks.
+        markWait(queue_[qi], obs::WaitReason::DepthCutoff);
+        if (cfg_.recorder != nullptr) cfg_.recorder->depthCutoff(now, jobs_[queue_[qi]].out.id);
+        break;
+      }
       ++considered;
       const std::size_t i = queue_[qi];
       const ClassProfile& profile = profileOf(i);
       QueuedJobView qv;
       qv.id = jobs_[i].out.id;
       qv.waitedSec = now - jobs_[i].out.arrivalSec;
-      const std::int32_t want = policy_.admit(qv, profile, view());
+      DecisionContext ctx;
+      const std::int32_t want = policy_.admit(qv, profile, view(), ctx);
       bool started = false;
       if (want > 0) {
         const std::int32_t alloc = profile.clampFeasible(std::min(want, profile.maxNodes()));
         if (alloc <= free_) {
           const bool finishesInTime = now + profile.at(alloc).totalSec <= shadow + 1e-9;
           if (finishesInTime || alloc <= spare) {
+            if (cfg_.recorder != nullptr)
+              cfg_.recorder->backfillCandidate(now, qv.id, want, alloc, free_, spare, true,
+                                               obs::WaitReason::HeadOfLine, ctx.rule, ctx.score,
+                                               ctx.threshold);
             if (!finishesInTime) spare -= alloc; // occupies part of the surplus past the shadow
             queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
             jobs_[i].out.backfilled = true;
+            ++startedCount;
             startJob(i, alloc);
             started = true;
+          } else {
+            markWait(i, obs::WaitReason::ShadowTime);
+            if (cfg_.recorder != nullptr)
+              cfg_.recorder->backfillCandidate(now, qv.id, want, alloc, free_, spare, false,
+                                               obs::WaitReason::ShadowTime, ctx.rule, ctx.score,
+                                               ctx.threshold);
           }
+        } else {
+          markWait(i, obs::WaitReason::InsufficientFree);
+          if (cfg_.recorder != nullptr)
+            cfg_.recorder->backfillCandidate(now, qv.id, want, alloc, free_, spare, false,
+                                             obs::WaitReason::InsufficientFree, ctx.rule,
+                                             ctx.score, ctx.threshold);
         }
+      } else {
+        markWait(i, obs::WaitReason::PolicyHeld);
+        if (cfg_.recorder != nullptr)
+          cfg_.recorder->backfillCandidate(now, qv.id, want, 0, free_, spare, false,
+                                           obs::WaitReason::PolicyHeld, ctx.rule, ctx.score,
+                                           ctx.threshold);
       }
       if (!started) ++qi;
     }
+    if (cfg_.recorder != nullptr)
+      cfg_.recorder->backfillPass(now, jobs_[head].out.id, headAlloc, shadow, spare0, considered,
+                                  startedCount);
   }
 
   void startJob(std::size_t i, std::int32_t alloc) {
     JobRt& rt = jobs_[i];
+    closeWaitFinal(i);
     free_ -= alloc;
     ++running_;
     rt.nodes = alloc;
@@ -252,7 +357,8 @@ private:
     rv.phase = rt.phase;
     rv.phases = profile.phases();
     rv.efficiencyNext = profile.at(rt.nodes).phaseEff[static_cast<std::size_t>(rt.phase)];
-    std::int32_t target = profile.clampFeasible(policy_.reallocate(rv, profile, view()));
+    DecisionContext ctx;
+    std::int32_t target = profile.clampFeasible(policy_.reallocate(rv, profile, view(), ctx));
     if (target > rt.nodes) // growth comes out of currently free nodes only
       target = std::min(target, profile.clampFeasible(rt.nodes + free_));
 
@@ -262,6 +368,9 @@ private:
       return;
     }
     const double bytes = profile.migrationBytes(rt.phase, rt.nodes, target);
+    if (cfg_.recorder != nullptr)
+      cfg_.recorder->reallocDecision(nowSec(), rt.out.id, rt.nodes, target, free_, bytes, ctx.rule,
+                                     ctx.score, ctx.threshold);
     if (target < rt.nodes) {
       free_ += rt.nodes - target; // released nodes stop computing now
     } else {
@@ -275,6 +384,9 @@ private:
     if (cfg_.chargeMigration) {
       const SimDuration delay =
           cfg_.migrationLatency + seconds(bytes / cfg_.migrationBandwidthBytesPerSec);
+      rt.out.wait.migrationDelayNs += delay.count();
+      if (cfg_.recorder != nullptr)
+        cfg_.recorder->migrationDelay(nowSec(), rt.out.id, toSeconds(delay), bytes);
       rt.estFinishSec = nowSec() + toSeconds(delay) + remainingSec(i, rt.phase, rt.nodes);
       sched_.scheduleAfter(delay, [this, i] { schedulePhase(i); });
     } else {

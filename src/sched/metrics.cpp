@@ -36,6 +36,7 @@ void ClusterMetrics::finalize() {
   meanSlowdown = maxSlowdown = meanWaitSec = migratedBytes = 0;
   reallocations = 0;
   backfillFires = 0;
+  attribution = obs::WaitAttribution{};
   for (const JobOutcome& j : jobs) {
     makespanSec = std::max(makespanSec, j.finishSec);
     meanSlowdown += j.slowdown();
@@ -44,6 +45,10 @@ void ClusterMetrics::finalize() {
     migratedBytes += j.migratedBytes;
     reallocations += j.reallocations;
     if (j.backfilled) ++backfillFires;
+    for (std::size_t r = 0; r < obs::kWaitReasonCount; ++r)
+      attribution.byReason[r] += j.wait.byReason[r];
+    attribution.totalNs += j.wait.totalNs;
+    attribution.migrationDelayNs += j.wait.migrationDelayNs;
   }
   if (!jobs.empty()) {
     meanSlowdown /= static_cast<double>(jobs.size());
@@ -64,6 +69,23 @@ void ClusterMetrics::finalize() {
   }
 }
 
+void ClusterMetrics::writeAttributionJson(std::ostream& os) const {
+  JsonWriter w(os);
+  w.beginObject();
+  for (std::size_t r = 0; r < obs::kWaitReasonCount; ++r) {
+    std::string k = waitReasonName(static_cast<obs::WaitReason>(r));
+    k += "_sec";
+    w.field(k, static_cast<double>(attribution.byReason[r]) * 1e-9);
+  }
+  w.field("total_wait_sec", static_cast<double>(attribution.totalNs) * 1e-9)
+      .field("migration_delay_sec", static_cast<double>(attribution.migrationDelayNs) * 1e-9)
+      .field("dominant",
+             attribution.totalNs > 0 ? waitReasonName(attribution.dominant()) : "none")
+      .field("dominant_share", attribution.dominantShare())
+      .endObject();
+  DPS_CHECK(w.closed(), "unbalanced attribution JSON");
+}
+
 void ClusterMetrics::writeJson(std::ostream& os, std::int32_t timelineMaxPoints) const {
   JsonWriter w(os);
   w.beginObject()
@@ -80,6 +102,11 @@ void ClusterMetrics::writeJson(std::ostream& os, std::int32_t timelineMaxPoints)
       .field("backfill_fires", backfillFires)
       .field("events_processed", events)
       .field("timeline_points", static_cast<std::uint64_t>(timeline.size()));
+  {
+    std::ostringstream attr;
+    writeAttributionJson(attr);
+    w.key("attribution").raw(attr.str());
+  }
   w.key("jobs").beginArray();
   for (const JobOutcome& j : jobs) {
     w.beginObject()
@@ -94,6 +121,12 @@ void ClusterMetrics::writeJson(std::ostream& os, std::int32_t timelineMaxPoints)
         .field("reallocations", j.reallocations)
         .field("migrated_bytes", j.migratedBytes)
         .field("backfilled", j.backfilled);
+    w.key("wait_ns").beginObject();
+    for (std::size_t r = 0; r < obs::kWaitReasonCount; ++r)
+      w.field(waitReasonName(static_cast<obs::WaitReason>(r)), j.wait.byReason[r]);
+    w.field("total", j.wait.totalNs)
+        .field("migration_delay", j.wait.migrationDelayNs)
+        .endObject();
     w.key("allocs").beginArray();
     for (std::int32_t a : j.allocs) w.value(a);
     w.endArray().endObject();

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/recorder.hpp" // obs::WaitAttribution
+
 namespace dps::sched {
 
 struct JobOutcome {
@@ -24,6 +26,10 @@ struct JobOutcome {
   double migratedBytes = 0;
   /// Started ahead of an older blocked job under EASY backfill.
   bool backfilled = false;
+  /// Queue-wait decomposition in integer simulated ns (always filled by
+  /// both cluster loops, recorder or not — so metrics JSON is identical
+  /// with and without a recorder attached).
+  obs::WaitAttribution wait;
 
   /// Clamped at zero: SimTime quantization can land the start a nanosecond
   /// before the nominal arrival.
@@ -65,9 +71,17 @@ struct ClusterMetrics {
   std::int32_t reallocations = 0;
   /// Jobs started ahead of an older blocked job by EASY backfill.
   std::int32_t backfillFires = 0;
+  /// Summed per-job wait attribution (integer ns buckets telescoping over
+  /// all jobs) — the "attribution" JSON block.
+  obs::WaitAttribution attribution;
 
   /// Computes the aggregate block from jobs + timeline.
   void finalize();
+
+  /// Emits the aggregate attribution as raw JSON members (per-reason
+  /// seconds, dominant reason + share) — shared by writeJson and the
+  /// benches that embed attribution in their own documents.
+  void writeAttributionJson(std::ostream& os) const;
 
   /// {"policy":...,"nodes":...,"makespan_sec":...,"jobs":[...],
   ///  "timeline":[...]}.  `timelineMaxPoints` > 0 down-samples the emitted

@@ -7,12 +7,14 @@
 namespace dps::sched {
 
 std::int32_t FcfsRigid::admit(const QueuedJobView&, const ClassProfile& profile,
-                              const ClusterView&) {
+                              const ClusterView&, DecisionContext& ctx) {
+  ctx.rule = "full-request";
   return profile.maxNodes();
 }
 
 std::int32_t FcfsRigid::reallocate(const RunningJobView& job, const ClassProfile&,
-                                   const ClusterView&) {
+                                   const ClusterView&, DecisionContext& ctx) {
+  ctx.rule = "rigid";
   return job.nodes;
 }
 
@@ -32,11 +34,21 @@ std::int32_t fairShare(const ClassProfile& profile, const ClusterView& view) {
 /// toward its entitlement at the next phase boundaries.  When nothing
 /// feasible fits, returns the (too large) share, which keeps the job
 /// queued.
-std::int32_t admitShareOrFit(const ClassProfile& profile, const ClusterView& view) {
+std::int32_t admitShareOrFit(const ClassProfile& profile, const ClusterView& view,
+                             DecisionContext& ctx) {
   const std::int32_t fair = fairShare(profile, view);
-  if (fair <= view.freeNodes) return fair;
+  ctx.score = fair;
+  if (fair <= view.freeNodes) {
+    ctx.rule = "fair-share";
+    return fair;
+  }
   const std::int32_t fit = profile.clampFeasible(view.freeNodes);
-  return fit <= view.freeNodes ? fit : fair;
+  if (fit <= view.freeNodes) {
+    ctx.rule = "largest-fit";
+    return fit;
+  }
+  ctx.rule = "share-too-large";
+  return fair;
 }
 
 } // namespace
@@ -46,27 +58,37 @@ std::int32_t Equipartition::share(const ClassProfile& profile, const ClusterView
 }
 
 std::int32_t Equipartition::admit(const QueuedJobView&, const ClassProfile& profile,
-                                  const ClusterView& view) {
-  return admitShareOrFit(profile, view);
+                                  const ClusterView& view, DecisionContext& ctx) {
+  return admitShareOrFit(profile, view, ctx);
 }
 
 std::int32_t Equipartition::reallocate(const RunningJobView&, const ClassProfile& profile,
-                                       const ClusterView& view) {
+                                       const ClusterView& view, DecisionContext& ctx) {
   // The job itself counts as one of the running jobs in the view.
-  return share(profile, view);
+  ctx.rule = "fair-share";
+  const std::int32_t fair = share(profile, view);
+  ctx.score = fair;
+  return fair;
 }
 
 std::int32_t EfficiencyShrink::admit(const QueuedJobView&, const ClassProfile& profile,
-                                     const ClusterView& view) {
+                                     const ClusterView& view, DecisionContext& ctx) {
   // Moldable admission: as large as currently fits, the smallest feasible
   // allocation when even that is unavailable (keeps the job queued).
+  ctx.rule = "moldable-fit";
   return profile.clampFeasible(std::max(profile.minNodes(), view.freeNodes));
 }
 
 std::int32_t EfficiencyShrink::reallocate(const RunningJobView& job, const ClassProfile& profile,
-                                          const ClusterView&) {
-  if (job.efficiencyNext >= threshold_) return job.nodes;
+                                          const ClusterView&, DecisionContext& ctx) {
+  ctx.score = job.efficiencyNext;
+  ctx.threshold = threshold_;
+  if (job.efficiencyNext >= threshold_) {
+    ctx.rule = "above-threshold";
+    return job.nodes;
+  }
   // Release: step down one feasible level (never below the minimum).
+  ctx.rule = "step-down";
   std::int32_t below = profile.minNodes();
   for (std::int32_t a : profile.allocs)
     if (a < job.nodes) below = a;
@@ -74,17 +96,19 @@ std::int32_t EfficiencyShrink::reallocate(const RunningJobView& job, const Class
 }
 
 std::int32_t GrowEager::admit(const QueuedJobView&, const ClassProfile& profile,
-                              const ClusterView& view) {
+                              const ClusterView& view, DecisionContext& ctx) {
   // Start at the (fitting) fair share like Equipartition — under contention
   // jobs begin small, which is exactly what makes later growth grants
   // possible once the cluster drains.
-  return admitShareOrFit(profile, view);
+  return admitShareOrFit(profile, view, ctx);
 }
 
 std::int32_t GrowEager::reallocate(const RunningJobView& job, const ClassProfile& profile,
-                                   const ClusterView& view) {
+                                   const ClusterView& view, DecisionContext& ctx) {
   // Absorb whatever is free: clampFeasible never steps below the job's
   // current (feasible) allocation, so this policy only ever grows.
+  ctx.rule = "absorb-free";
+  ctx.score = view.freeNodes;
   return profile.clampFeasible(job.nodes + view.freeNodes);
 }
 

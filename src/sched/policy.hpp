@@ -54,6 +54,18 @@ struct RunningJobView {
   double efficiencyNext = 0;
 };
 
+/// Decision rationale a policy reports alongside its answer, so the flight
+/// recorder can explain *why* an allocation was chosen instead of just
+/// what it was.  `rule` is a static string naming the clause that fired
+/// ("fair-share", "step-down", ...); score/threshold carry the numeric
+/// comparison behind threshold rules (0 when not applicable).  Filling it
+/// is mandatory but free: callers that don't record simply ignore it.
+struct DecisionContext {
+  const char* rule = "";
+  double score = 0;
+  double threshold = 0;
+};
+
 class Policy {
 public:
   virtual ~Policy() = default;
@@ -65,31 +77,31 @@ public:
   /// decisions alone).  Returning more than view.freeNodes keeps the job
   /// queued (rigid policies just return the full request).
   virtual std::int32_t admit(const QueuedJobView& job, const ClassProfile& profile,
-                             const ClusterView& view) = 0;
+                             const ClusterView& view, DecisionContext& ctx) = 0;
 
   /// Target allocation for a running job at a phase boundary.  The
   /// scheduler clamps the answer to the class's feasible allocations and
   /// grants growth only from currently free nodes.
   virtual std::int32_t reallocate(const RunningJobView& job, const ClassProfile& profile,
-                                  const ClusterView& view) = 0;
+                                  const ClusterView& view, DecisionContext& ctx) = 0;
 };
 
 class FcfsRigid final : public Policy {
 public:
   std::string name() const override { return "fcfs-rigid"; }
   std::int32_t admit(const QueuedJobView& job, const ClassProfile& profile,
-                     const ClusterView& view) override;
+                     const ClusterView& view, DecisionContext& ctx) override;
   std::int32_t reallocate(const RunningJobView& job, const ClassProfile& profile,
-                          const ClusterView& view) override;
+                          const ClusterView& view, DecisionContext& ctx) override;
 };
 
 class Equipartition final : public Policy {
 public:
   std::string name() const override { return "equipartition"; }
   std::int32_t admit(const QueuedJobView& job, const ClassProfile& profile,
-                     const ClusterView& view) override;
+                     const ClusterView& view, DecisionContext& ctx) override;
   std::int32_t reallocate(const RunningJobView& job, const ClassProfile& profile,
-                          const ClusterView& view) override;
+                          const ClusterView& view, DecisionContext& ctx) override;
 
 private:
   /// totalNodes / max(1, running + queued), clamped into the class's
@@ -102,9 +114,9 @@ public:
   explicit EfficiencyShrink(double threshold = 0.5) : threshold_(threshold) {}
   std::string name() const override { return "efficiency-shrink"; }
   std::int32_t admit(const QueuedJobView& job, const ClassProfile& profile,
-                     const ClusterView& view) override;
+                     const ClusterView& view, DecisionContext& ctx) override;
   std::int32_t reallocate(const RunningJobView& job, const ClassProfile& profile,
-                          const ClusterView& view) override;
+                          const ClusterView& view, DecisionContext& ctx) override;
   double threshold() const { return threshold_; }
 
 private:
@@ -120,9 +132,9 @@ class GrowEager final : public Policy {
 public:
   std::string name() const override { return "grow-eager"; }
   std::int32_t admit(const QueuedJobView& job, const ClassProfile& profile,
-                     const ClusterView& view) override;
+                     const ClusterView& view, DecisionContext& ctx) override;
   std::int32_t reallocate(const RunningJobView& job, const ClassProfile& profile,
-                          const ClusterView& view) override;
+                          const ClusterView& view, DecisionContext& ctx) override;
 };
 
 /// Factory for the tool/bench --policy flags: "fcfs-rigid" | "equipartition"

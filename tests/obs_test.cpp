@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/clock.hpp"
+#include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -162,6 +163,84 @@ TEST(TraceSinkTest, EmitsChromeTraceEventDocument) {
 TEST(TraceSinkTest, WriteFileFailsCleanlyOnBadPath) {
   TraceSink sink;
   EXPECT_FALSE(sink.writeFile("/nonexistent-dir/trace.json"));
+}
+
+TEST(RecorderTest, WaitAttributionHelpers) {
+  WaitAttribution a;
+  EXPECT_EQ(a.sumNs(), 0);
+  EXPECT_EQ(a.dominant(), WaitReason::HeadOfLine); // lowest index on all-zero
+  EXPECT_DOUBLE_EQ(a.dominantShare(), 0.0);        // never waited -> 0
+  a.byReason[1] = 300;
+  a.byReason[4] = 700;
+  a.totalNs = 1000;
+  EXPECT_EQ(a.sumNs(), 1000);
+  EXPECT_EQ(a.dominant(), WaitReason::ShadowTime);
+  EXPECT_DOUBLE_EQ(a.dominantShare(), 0.7);
+  a.byReason[0] = 700; // tie with reason 4: lowest index wins, deterministic
+  a.totalNs = 1700;
+  EXPECT_EQ(a.dominant(), WaitReason::HeadOfLine);
+  // Every reason has a distinct slug and label.
+  for (std::size_t r = 0; r < kWaitReasonCount; ++r)
+    for (std::size_t s = r + 1; s < kWaitReasonCount; ++s) {
+      EXPECT_STRNE(waitReasonName(static_cast<WaitReason>(r)),
+                   waitReasonName(static_cast<WaitReason>(s)));
+      EXPECT_STRNE(waitReasonLabel(static_cast<WaitReason>(r)),
+                   waitReasonLabel(static_cast<WaitReason>(s)));
+    }
+}
+
+TEST(RecorderTest, JsonCarriesDecisionsIntervalsJobsAndTimeseries) {
+  Recorder rec(/*timeseriesCadenceSec=*/0); // no timeseries at cadence 0
+  rec.beginRun("fcfs-rigid", 4, 7);
+  rec.admitDecision(0.0, 1, 4, 4, 4, /*started=*/true, WaitReason::HeadOfLine,
+                    "full-request", 0, 0);
+  rec.admitDecision(1.0, 2, 4, 4, 0, /*started=*/false, WaitReason::InsufficientFree,
+                    "full-request", 0, 0);
+  rec.backfillCandidate(1.0, 3, 2, 2, 2, 2, /*started=*/true, WaitReason::HeadOfLine,
+                        "full-request", 0, 0);
+  rec.depthCutoff(1.0, 4);
+  rec.backfillPass(1.0, 2, 4, 9.5, 2, 1, 1);
+  rec.reallocDecision(2.0, 1, 4, 2, 0, 64.0, "step-down", 0.4, 0.5);
+  rec.migrationDelay(2.0, 1, 0.25, 64.0);
+  rec.waitInterval(2, 1.0, 3.0, WaitReason::InsufficientFree);
+  WaitAttribution wait;
+  wait.byReason[1] = 2000000000;
+  wait.totalNs = 2000000000;
+  rec.jobSummary(2, "lu-tiny", 1.0, 3.0, 5.0, false, wait);
+  rec.endRun(5.0);
+  EXPECT_EQ(rec.decisionCount(), 7u);
+  EXPECT_EQ(rec.sampleCount(), 0u);
+  const std::string json = rec.jsonString();
+  for (const char* needle :
+       {"\"policy\":\"fcfs-rigid\"", "\"kind\":\"admit\"", "\"kind\":\"backfill_candidate\"",
+        "\"kind\":\"depth_cutoff\"", "\"kind\":\"backfill_pass\"", "\"kind\":\"realloc\"",
+        "\"kind\":\"migration\"", "\"reason\":\"insufficient_free\"", "\"rule\":\"step-down\"",
+        "\"shadow_sec\":9.5", "\"wait_intervals\":", "\"dominant\":\"insufficient_free\"",
+        "\"dominant_share\":1", "\"points\":0"})
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << " missing in " << json;
+  // The explain narrative names the job's dominant reason, human-readable.
+  const std::string story = rec.explain(2);
+  EXPECT_NE(story.find("dominant wait reason: insufficient free nodes"), std::string::npos)
+      << story;
+  EXPECT_NE(story.find("arrived"), std::string::npos) << story;
+}
+
+TEST(RecorderTest, TimeseriesSamplesPiecewiseConstantState) {
+  // Samples fire at k * cadence.  An instant strictly before a state change
+  // carries the OLD state (the state is piecewise-constant between change
+  // points), and endRun flushes every instant <= makespan with the final
+  // state.
+  Recorder rec(/*timeseriesCadenceSec=*/1.0);
+  rec.beginRun("equipartition", 4, 1);
+  rec.stateSample(0.0, 4, 0, 1, 0);  // sample k=0 pending until next change
+  rec.stateSample(2.5, 2, 2, 1, 3);  // flushes k=0,1,2 with the OLD state
+  rec.endRun(4.0);                   // flushes k=3,4 with the final state
+  EXPECT_EQ(rec.sampleCount(), 5u);
+  const std::string json = rec.jsonString();
+  EXPECT_NE(json.find("\"t_sec\":[0,1,2,3,4]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"used_nodes\":[4,4,4,2,2]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue_depth\":[0,0,0,3,3]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cadence_sec\":1"), std::string::npos) << json;
 }
 
 TEST(ProgressMeterTest, RateLimitsAndExtrapolates) {

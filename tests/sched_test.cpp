@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sched/cluster.hpp"
@@ -313,16 +314,20 @@ TEST(PolicyTest, ShareAdmissionClampsToTheLargestFeasibleFit) {
   view.totalNodes = 4;
   view.runningJobs = 1;
   view.queuedJobs = 1;
+  DecisionContext ctx;
   view.freeNodes = 3; // fair share 4/2 = 2 fits
-  EXPECT_EQ(equip.admit(QueuedJobView{}, lu, view), 2);
+  EXPECT_EQ(equip.admit(QueuedJobView{}, lu, view, ctx), 2);
+  EXPECT_STREQ(ctx.rule, "fair-share");
   // Share does not fit: start at the largest feasible allocation that does
   // instead of idling the free node behind the queue head.
   view.totalNodes = 8; // fair share 8/2 = 4, but only 1 node free
   view.freeNodes = 1;
-  EXPECT_EQ(equip.admit(QueuedJobView{}, lu, view), 1);
+  EXPECT_EQ(equip.admit(QueuedJobView{}, lu, view, ctx), 1);
+  EXPECT_STREQ(ctx.rule, "largest-fit");
   // Nothing feasible fits: the too-large share keeps the job queued.
   view.freeNodes = 0;
-  EXPECT_GT(equip.admit(QueuedJobView{}, lu, view), view.freeNodes);
+  EXPECT_GT(equip.admit(QueuedJobView{}, lu, view, ctx), view.freeNodes);
+  EXPECT_STREQ(ctx.rule, "share-too-large");
 }
 
 TEST(PolicyTest, GrowEagerOnlyGrows) {
@@ -333,12 +338,14 @@ TEST(PolicyTest, GrowEagerOnlyGrows) {
   job.nodes = 2;
   ClusterView view;
   view.totalNodes = 4;
+  DecisionContext ctx;
   view.freeNodes = 2;
-  EXPECT_EQ(policy.reallocate(job, lu, view), 4); // absorbs the free nodes
+  EXPECT_EQ(policy.reallocate(job, lu, view, ctx), 4); // absorbs the free nodes
+  EXPECT_STREQ(ctx.rule, "absorb-free");
   view.freeNodes = 1;
-  EXPECT_EQ(policy.reallocate(job, lu, view), 2); // 3 is not feasible
+  EXPECT_EQ(policy.reallocate(job, lu, view, ctx), 2); // 3 is not feasible
   view.freeNodes = 0;
-  EXPECT_EQ(policy.reallocate(job, lu, view), 2); // never shrinks
+  EXPECT_EQ(policy.reallocate(job, lu, view, ctx), 2); // never shrinks
 }
 
 TEST(PolicyTest, GrowEagerTriggersGrowthGrants) {
@@ -599,6 +606,108 @@ TEST(ClusterTest, OptimizedLoopBitIdenticalToReferenceLoop) {
     EXPECT_EQ(simulateCluster(cfg, stress, table, a).jsonString(),
               simulateClusterReference(cfg, stress, table, b).jsonString())
         << "stress depth " << depth;
+  }
+}
+
+TEST(ClusterTest, RecorderDoesNotPerturbResults) {
+  // The flight-recorder contract: attaching a recorder is a read-only tap.
+  // The metrics JSON (which now carries the wait attribution, so this also
+  // proves the attribution bookkeeping is always-on) stays bit-identical
+  // for every policy, backfill on and off — while the recorder itself
+  // actually captured the run.
+  const auto wl = tinyWorkload(1, 12, 2.0);
+  const auto table = JobProfileTable::build(wl.cfg.classes, 4, {}, 1);
+  for (const std::string& name : policyNames()) {
+    for (const bool backfill : {false, true}) {
+      ClusterConfig plain;
+      plain.nodes = 4;
+      plain.easyBackfill = backfill;
+      auto p1 = makePolicy(name);
+      const auto bare = simulateCluster(plain, wl, table, *p1);
+
+      obs::Recorder recorder(10.0);
+      ClusterConfig recorded = plain;
+      recorded.recorder = &recorder;
+      auto p2 = makePolicy(name);
+      const auto flown = simulateCluster(recorded, wl, table, *p2);
+
+      EXPECT_EQ(bare.jsonString(), flown.jsonString())
+          << name << (backfill ? " +backfill" : "");
+      EXPECT_GT(recorder.decisionCount(), 0u) << name;
+      EXPECT_GT(recorder.sampleCount(), 0u) << name;
+    }
+  }
+}
+
+TEST(ClusterTest, OptimizedAndReferenceLoopsRecordEqualDecisions) {
+  // Stronger than metrics bit-identity: the two loops must narrate the SAME
+  // decision sequence — every admit verdict, backfill pass, wait interval
+  // and timeseries sample — rendered to equal recorder JSON.  This checks
+  // the optimized hot paths decision by decision, not just by outcome.
+  const auto wl = tinyWorkload(1, 12, 2.0);
+  const auto table = JobProfileTable::build(wl.cfg.classes, 4, {}, 1);
+  for (const std::string& name : policyNames()) {
+    for (const bool backfill : {false, true}) {
+      ClusterConfig cfg;
+      cfg.nodes = 4;
+      cfg.easyBackfill = backfill;
+      obs::Recorder opt(10.0), ref(10.0);
+      auto a = makePolicy(name);
+      auto b = makePolicy(name);
+      cfg.recorder = &opt;
+      simulateCluster(cfg, wl, table, *a);
+      cfg.recorder = &ref;
+      simulateClusterReference(cfg, wl, table, *b);
+      EXPECT_EQ(opt.jsonString(), ref.jsonString())
+          << name << (backfill ? " +backfill" : "");
+    }
+  }
+  // A saturated stress point where the queue is deep, backfill works, and
+  // the depth cutoff actually fires.
+  const auto stress = tinyWorkload(2, 200, 200.0);
+  for (const std::int32_t depth : {0, 3}) {
+    ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.easyBackfill = true;
+    cfg.backfillDepth = depth;
+    obs::Recorder opt(5.0), ref(5.0);
+    FcfsRigid a, b;
+    cfg.recorder = &opt;
+    simulateCluster(cfg, stress, table, a);
+    cfg.recorder = &ref;
+    simulateClusterReference(cfg, stress, table, b);
+    EXPECT_EQ(opt.jsonString(), ref.jsonString()) << "stress depth " << depth;
+  }
+}
+
+TEST(ClusterTest, WaitAttributionBucketsSumExactlyToQueueWait) {
+  // The integer-telescoping invariant: each job's per-reason buckets sum to
+  // EXACTLY its recorded queue wait (start tick - arrival tick), asserted
+  // as integer equality — no tolerance.  Saturated workload so the buckets
+  // are non-trivial, both loops, all policies.
+  const auto wl = tinyWorkload(2, 60, 200.0);
+  const auto table = JobProfileTable::build(wl.cfg.classes, 4, {}, 1);
+  for (const std::string& name : policyNames()) {
+    ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.easyBackfill = true;
+    auto p1 = makePolicy(name);
+    auto p2 = makePolicy(name);
+    const auto opt = simulateCluster(cfg, wl, table, *p1);
+    const auto ref = simulateClusterReference(cfg, wl, table, *p2);
+    std::int64_t waited = 0;
+    for (const auto* m : {&opt, &ref}) {
+      for (const auto& j : m->jobs) {
+        EXPECT_EQ(j.wait.sumNs(), j.wait.totalNs) << name << " job " << j.id;
+        // The integer total restates the metrics' own double-seconds wait.
+        EXPECT_NEAR(static_cast<double>(j.wait.totalNs) * 1e-9, j.waitSec(), 1e-9)
+            << name << " job " << j.id;
+        waited += j.wait.totalNs;
+      }
+      // The run aggregate telescopes too.
+      EXPECT_EQ(m->attribution.sumNs(), m->attribution.totalNs) << name;
+    }
+    EXPECT_GT(waited, 0) << name; // the invariant was exercised non-trivially
   }
 }
 

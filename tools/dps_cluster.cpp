@@ -31,6 +31,17 @@
 //   $ dps_cluster --nodes 8 --policy grow-eager --backfill --replay
 //   $ dps_cluster --nodes 4096 --job-count 100000 --mix scaled --progress
 //   $ dps_cluster --smoke --trace trace.json --metrics metrics.json
+//
+// The flight recorder (--record / --explain): every policy's loop feeds an
+// obs::Recorder with its full decision audit log (admit/hold verdicts with
+// typed wait reasons, backfill passes and candidates, realloc grants with
+// the policy's rationale), per-job wait intervals, and a simulated-time
+// timeseries sampled every --record-cadence seconds.  --record writes all
+// recorders to one JSON file (render with scripts/schedule_report.py);
+// --explain JOB_ID prints the causal narrative of one job under the
+// primary policy.  Recording is read-only: results stay bit-identical.
+//
+//   $ dps_cluster --smoke --record record.json --explain 3
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -40,6 +51,7 @@
 #include <sstream>
 
 #include "obs/clock.hpp"
+#include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sched/cluster.hpp"
@@ -74,9 +86,9 @@ std::string describeAllocs(const std::vector<std::int32_t>& allocs) {
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   std::int64_t nodes = 0, seed = 0, jobCount = 0, jobs = 0;
-  std::int64_t anchors = 0, timelineMax = 0, backfillDepth = 0;
-  double arrivalRate = 0, threshold = 0;
-  std::string policyName, jsonPath, mixName, metricsPath, tracePath;
+  std::int64_t anchors = 0, timelineMax = 0, backfillDepth = 0, explainJob = 0;
+  double arrivalRate = 0, threshold = 0, recordCadence = 0;
+  std::string policyName, jsonPath, mixName, metricsPath, tracePath, recordPath;
   bool smoke = false, backfill = false, replay = false;
   bool exactProfiles = false, progress = false;
   try {
@@ -96,6 +108,15 @@ int main(int argc, char** argv) {
     tracePath = cli.str("trace", "",
                         "write a Chrome trace-event JSON (Perfetto-loadable) of every policy's "
                         "event loop, in simulated time, to this file");
+    recordPath = cli.str("record", "",
+                         "write every policy's flight record (decision audit log, wait "
+                         "intervals, timeseries) to this JSON file");
+    recordCadence = cli.real("record-cadence", 10.0,
+                             "simulated-time sampling cadence [s] for the recorder timeseries "
+                             "(0 disables the timeseries)");
+    explainJob = cli.integer("explain", -1,
+                             "print the causal narrative (arrival, waits with reasons, "
+                             "reallocs, finish) of this job id under the primary policy");
     mixName = cli.str("mix", "default",
                       "job mix: default | scaled (dense malleability levels for large machines)");
     anchors = cli.integer("anchors", 0,
@@ -129,6 +150,7 @@ int main(int argc, char** argv) {
     if (anchors < 0 || anchors > 4096) throw ConfigError("--anchors must be in [0, 4096]");
     if (timelineMax < 0) throw ConfigError("--timeline-max must be >= 0");
     if (backfillDepth < 0) throw ConfigError("--backfill-depth must be >= 0");
+    if (recordCadence < 0) throw ConfigError("--record-cadence must be >= 0");
     sched::makePolicy(policyName); // validates the name
   } catch (const Error& e) {
     std::fprintf(stderr, "%s\n%s", e.what(), cli.helpText().c_str());
@@ -162,6 +184,10 @@ int main(int argc, char** argv) {
   obs::TraceSink trace;
   obs::Registry* const metrics = metricsPath.empty() ? nullptr : &registry;
   obs::TraceSink* const traceSink = tracePath.empty() ? nullptr : &trace;
+  // One flight recorder per policy (they are single-run objects), created
+  // only when --record or --explain asked for one.
+  const bool recording = !recordPath.empty() || explainJob >= 0;
+  std::vector<std::unique_ptr<obs::Recorder>> recorders;
 
   sched::ProfileBuildOptions popts;
   popts.interpolate = !exactProfiles;
@@ -222,6 +248,10 @@ int main(int argc, char** argv) {
     ccfg.metricsPrefix = "cluster." + name + ".";
     ccfg.trace = traceSink;
     ccfg.tracePid = static_cast<std::int32_t>(pi);
+    if (recording) {
+      recorders.push_back(std::make_unique<obs::Recorder>(recordCadence));
+      ccfg.recorder = recorders.back().get();
+    }
     if (traceSink != nullptr)
       trace.processName(static_cast<std::int32_t>(pi), "policy: " + name);
     const obs::WallClock loopClock;
@@ -313,6 +343,36 @@ int main(int argc, char** argv) {
     std::printf("profile cache: %llu lookups, %llu engine runs, hit rate %.0f%%\n",
                 static_cast<unsigned long long>(cs.lookups()),
                 static_cast<unsigned long long>(cs.engineRuns), cs.hitRate() * 100.0);
+  }
+
+  if (explainJob >= 0) {
+    std::size_t primaryIdx = 0;
+    for (std::size_t pi = 0; pi < policyList.size(); ++pi)
+      if (policyList[pi] == policyName) primaryIdx = pi;
+    std::printf("\n%s",
+                recorders[primaryIdx]->explain(static_cast<std::int32_t>(explainJob)).c_str());
+  }
+
+  if (!recordPath.empty()) {
+    std::ofstream os(recordPath);
+    if (!os) {
+      std::fprintf(stderr, "cannot write record to %s\n", recordPath.c_str());
+      return 1;
+    }
+    JsonWriter w(os);
+    w.beginObject()
+        .field("nodes", nodes)
+        .field("seed", seed)
+        .field("primary", policyName)
+        .field("cadence_sec", recordCadence);
+    w.key("policies").beginArray();
+    for (const auto& r : recorders) w.raw(r->jsonString());
+    w.endArray().endObject();
+    DPS_CHECK(w.closed(), "unbalanced record JSON");
+    os << "\n";
+    std::printf("wrote %s (%zu decisions under %s)\n", recordPath.c_str(),
+                recorders.empty() ? 0 : recorders.front()->decisionCount(),
+                policyList.empty() ? "?" : policyList.front().c_str());
   }
 
   if (!jsonPath.empty()) {
