@@ -1,0 +1,187 @@
+// Policy optimality bench: how close do the shipped scheduling policies
+// get to the *provably optimal* schedule?
+//
+// The exhaustive explorer (sched::explore) is the oracle: on explorer-scale
+// workloads (4 jobs on 8 nodes, dense arrivals) it enumerates every
+// schedule any policy could produce and proves the optimal makespan and
+// mean slowdown by branch-and-bound over the joint decision space.  Each
+// seeded workload then scores the five policy configurations — the four
+// policies plus fcfs-rigid under EASY backfill — as a percentage of
+// optimal, and the [CHECK] claims pin the oracle contract: the optimum is
+// proven (search complete), never beaten by any policy, and its decision
+// trace replays through the instant machine bit-identically.
+//
+// The per-policy mean percentages land in BENCH_HISTORY.jsonl (direction:
+// higher is better), so a scheduler change that walks a policy away from
+// optimal fails the history gate.
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "sched/cluster.hpp"
+#include "sched/explore.hpp"
+#include "svc/profile_cache.hpp"
+
+using namespace dps;
+
+namespace {
+
+struct PolicyCfg {
+  std::string label;
+  std::string policy;
+  bool backfill = false;
+};
+
+std::vector<PolicyCfg> policyConfigs() {
+  return {
+      {"fcfs-rigid", "fcfs-rigid", false},
+      {"fcfs-easy", "fcfs-rigid", true},
+      {"equipartition", "equipartition", false},
+      {"efficiency-shrink", "efficiency-shrink", false},
+      {"grow-eager", "grow-eager", false},
+  };
+}
+
+struct SeedScore {
+  double optimalMakespan = 0;
+  double optimalSlowdown = 0;
+  std::vector<double> makespanPct; // per policy config
+  std::vector<double> slowdownPct;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, /*withSmoke=*/true);
+  const std::int32_t nodes = 8;
+  const std::int32_t jobCount = args.smoke ? 3 : 4;
+  const std::vector<std::uint64_t> seeds =
+      args.smoke ? std::vector<std::uint64_t>{1, 2} : std::vector<std::uint64_t>{1, 2, 3, 4, 5};
+  const auto cfgs = policyConfigs();
+
+  const sched::ProfileSettings settings;
+  const auto classes = sched::exploreMix(nodes);
+  const auto profiles = svc::buildProfileTable(classes, nodes, settings,
+                                               bench::effectiveJobs(args.opts));
+  const auto ccfg = sched::ClusterConfig::fromProfile(settings.platform, nodes);
+
+  std::printf("oracle sweep: %zu seeds x (%zu policy configs + 2 exhaustive searches), "
+              "%d jobs on %d nodes\n\n",
+              seeds.size(), cfgs.size(), jobCount, nodes);
+
+  std::vector<SeedScore> scores;
+  for (const std::uint64_t seed : seeds) {
+    sched::WorkloadConfig wcfg;
+    wcfg.seed = seed;
+    wcfg.jobCount = jobCount;
+    wcfg.arrivalRatePerSec = 20.0;
+    wcfg.classes = classes;
+    const auto workload = sched::Workload::generate(wcfg, nodes);
+
+    std::vector<sched::ClusterMetrics> runs;
+    for (const PolicyCfg& pc : cfgs) {
+      auto policy = sched::makePolicy(pc.policy);
+      sched::ClusterConfig cc = ccfg;
+      cc.easyBackfill = pc.backfill;
+      runs.push_back(sched::simulateCluster(cc, workload, profiles, *policy));
+    }
+    double bestMakespan = runs.front().makespanSec;
+    double bestSlowdown = runs.front().meanSlowdown;
+    for (const auto& m : runs) {
+      bestMakespan = std::min(bestMakespan, m.makespanSec);
+      bestSlowdown = std::min(bestSlowdown, m.meanSlowdown);
+    }
+
+    sched::ExploreLimits mkLimits;
+    mkLimits.upperBound = bestMakespan;
+    const auto mk = sched::exploreOptimal(ccfg, workload, profiles,
+                                          sched::ExploreObjective::Makespan, mkLimits);
+    sched::ExploreLimits slLimits;
+    slLimits.upperBound = bestSlowdown;
+    const auto sl = sched::exploreOptimal(ccfg, workload, profiles,
+                                          sched::ExploreObjective::MeanSlowdown, slLimits);
+    const std::string tag = "seed " + std::to_string(seed);
+    bench::check(mk.found && mk.stats.complete && sl.found && sl.stats.complete,
+                 tag + ": both optima proven (searches complete)");
+    const auto mkReplay = sched::replayTrace(ccfg, workload, profiles, mk.trace);
+    bench::check(mkReplay.makespanSec == mk.makespanSec,
+                 tag + ": optimal trace replays bit-identically");
+
+    SeedScore s;
+    s.optimalMakespan = mk.makespanSec;
+    s.optimalSlowdown = sl.meanSlowdown;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      bench::check(mk.makespanSec <= runs[i].makespanSec + 1e-9,
+                   tag + ": optimum <= " + cfgs[i].label + " makespan");
+      s.makespanPct.push_back(100.0 * mk.makespanSec / runs[i].makespanSec);
+      s.slowdownPct.push_back(100.0 * sl.meanSlowdown / runs[i].meanSlowdown);
+    }
+    scores.push_back(std::move(s));
+  }
+
+  // Per-policy means across seeds; the history-gated series.
+  std::vector<double> meanMk(cfgs.size(), 0), meanSl(cfgs.size(), 0);
+  double meanBestMk = 0, meanBestSl = 0;
+  for (const SeedScore& s : scores) {
+    meanBestMk += *std::max_element(s.makespanPct.begin(), s.makespanPct.end());
+    meanBestSl += *std::max_element(s.slowdownPct.begin(), s.slowdownPct.end());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      meanMk[i] += s.makespanPct[i];
+      meanSl[i] += s.slowdownPct[i];
+    }
+  }
+  const double n = static_cast<double>(scores.size());
+  meanBestMk /= n;
+  meanBestSl /= n;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    meanMk[i] /= n;
+    meanSl[i] /= n;
+  }
+
+  Table t("policy optimality, mean over " + std::to_string(seeds.size()) + " seeds (" +
+          std::to_string(jobCount) + " jobs, " + std::to_string(nodes) + " nodes)");
+  t.header({"policy", "makespan % of optimal", "slowdown % of optimal"});
+  for (std::size_t i = 0; i < cfgs.size(); ++i)
+    t.row({cfgs[i].label, Table::num(meanMk[i], 1), Table::num(meanSl[i], 1)});
+  t.row({"(best per seed)", Table::num(meanBestMk, 1), Table::num(meanBestSl, 1)});
+  t.print(std::cout);
+
+  bench::check(meanBestMk > 0 && meanBestMk <= 100.0 + 1e-9,
+               "best-policy makespan percentage is in (0, 100]");
+  bench::check(meanBestSl > 0 && meanBestSl <= 100.0 + 1e-9,
+               "best-policy slowdown percentage is in (0, 100]");
+  // Dense arrivals mean real contention: if every policy were always
+  // optimal the oracle would be vacuous, so at least one configuration must
+  // measurably trail the optimum somewhere in the sweep.
+  double worstMk = 100.0;
+  for (double v : meanMk) worstMk = std::min(worstMk, v);
+  bench::check(worstMk < 99.0, "at least one policy measurably trails the optimum");
+  // Malleability pays: the best adaptive policy dominates rigid fcfs on
+  // makespan across the sweep (the paper's core premise at cluster scale).
+  const auto rigid = static_cast<std::size_t>(
+      std::find_if(cfgs.begin(), cfgs.end(),
+                   [](const PolicyCfg& c) { return c.label == "fcfs-rigid"; }) -
+      cfgs.begin());
+  bench::check(meanBestMk >= meanMk[rigid],
+               "best adaptive config >= fcfs-rigid on mean makespan percentage");
+
+  std::ostringstream extra;
+  JsonWriter w(extra);
+  w.beginObject();
+  w.field("seeds", seeds.size())
+      .field("job_count", jobCount)
+      .field("nodes", nodes)
+      .field("best_policy_makespan_pct", meanBestMk)
+      .field("best_policy_slowdown_pct", meanBestSl);
+  w.key("policies").beginArray();
+  for (std::size_t i = 0; i < cfgs.size(); ++i)
+    w.beginObject()
+        .field("policy", cfgs[i].label)
+        .field("backfill", cfgs[i].backfill)
+        .field("makespan_pct_of_optimal", meanMk[i])
+        .field("slowdown_pct_of_optimal", meanSl[i])
+        .endObject();
+  w.endArray().endObject();
+  return bench::finish("policy_optimality", args.opts, nullptr, "\"optimality\":" + extra.str());
+}

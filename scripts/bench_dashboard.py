@@ -2,7 +2,8 @@
 """Aggregate the bench/tool JSON artifacts into one markdown dashboard.
 
 Every bench and smoke step emits a JSON artifact (BENCH_*.json,
-CALIB_*.json, CLUSTER_*.json, REPLAY_*.json, SERVER_*.json).  This script
+CALIB_*.json, CLUSTER_*.json, EXPLORE_*.json, OPTIMALITY_*.json,
+REPLAY_*.json, SERVER_*.json).  This script
 renders them into a single human-readable summary — check verdicts first,
 then the headline numbers of each artifact kind — so a PR's bench
 trajectory is one artifact download away instead of five JSON files.
@@ -26,6 +27,7 @@ import os
 import sys
 
 PATTERNS = ["BENCH_*.json", "CALIB_*.json", "CLUSTER_*.json",
+            "EXPLORE_*.json", "OPTIMALITY_*.json",
             "REPLAY_*.json", "SERVER_*.json"]
 
 
@@ -170,6 +172,59 @@ def section_server(doc):
     return lines
 
 
+def section_optimality(doc):
+    """Shared by the policy_optimality bench and dps_explore --optimality."""
+    opt = doc.get("optimality") or {}
+    lines = []
+    pols = opt.get("policies") or []
+    rows = [(p.get("policy"), fmt(p.get("backfill", False)),
+             fmt(p.get("makespan_pct_of_optimal"), 1),
+             fmt(p.get("slowdown_pct_of_optimal"), 1))
+            for p in pols if isinstance(p, dict)]
+    if rows:
+        lines += table(["policy", "backfill", "makespan % of opt",
+                        "slowdown % of opt"], rows)
+    best_mk = opt.get("best_policy_makespan_pct")
+    best_sl = opt.get("best_policy_slowdown_pct")
+    if best_mk is not None:
+        lines.append("")
+        lines.append(f"best policy: **{fmt(best_mk, 1)}%** of optimal makespan, "
+                     f"**{fmt(best_sl, 1)}%** of optimal mean slowdown")
+    mk = opt.get("makespan_search") or {}
+    if mk:
+        lines.append(f"oracle: {fmt(mk.get('states_explored'))} states, "
+                     f"{fmt(mk.get('branches_pruned'))} pruned, "
+                     f"complete: {fmt(mk.get('complete'))}")
+    return lines
+
+
+def section_verify(doc):
+    ver = doc.get("verify") or {}
+    if not ver:
+        return []
+    lines = []
+    space = (ver.get("space") or {}).get("report") or {}
+    if space:
+        lines.append(f"space walk: {fmt(space.get('checks_total'))} invariant checks, "
+                     f"{fmt(space.get('violations'))} violations, "
+                     f"pass: {fmt(space.get('pass'))}")
+    pols = ver.get("policies") or []
+    if pols:
+        failed = [p for p in pols
+                  if not ((p.get("report") or {}).get("pass"))]
+        lines.append(f"policy audits: {len(pols) - len(failed)}/{len(pols)} "
+                     "policy x backfill configurations pass")
+        for p in failed:
+            lines.append(f"- :x: {p.get('policy')} "
+                         f"(backfill: {fmt(p.get('backfill', False))})")
+    mut = ver.get("mutant") or {}
+    if mut:
+        lines.append(f"head-hold mutant: {fmt(mut.get('violations'))} violations, "
+                     f"starvation caught: {fmt(mut.get('starvation_violation'))}, "
+                     f"replay confirmed: {fmt(mut.get('replay_confirmed'))}")
+    return lines
+
+
 def render(path, doc):
     name = path.split("/")[-1]
     lines = [f"## {name}", ""]
@@ -177,7 +232,13 @@ def render(path, doc):
         return lines + ["(unrecognized shape; no summary extracted)", ""]
     lines += section_checks(doc)
     body = []
-    if "grid" in doc or "baseline" in doc or "interpolation" in doc:
+    if "optimality" in doc or "verify" in doc:
+        body = section_optimality(doc)
+        verify = section_verify(doc)
+        if body and verify:
+            body.append("")
+        body += verify
+    elif "grid" in doc or "baseline" in doc or "interpolation" in doc:
         body = section_cluster_scale(doc)
     elif "policies" in doc:
         body = section_cluster_tool(doc)

@@ -2,7 +2,8 @@
 """Track key bench metrics across commits and flag regressions.
 
 Reads the same JSON artifacts the dashboard consumes (CLUSTER_*.json,
-SERVER_*.json, CALIB_*.json, REPLAY_*.json), distills each into a small
+SERVER_*.json, CALIB_*.json, OPTIMALITY_*.json, REPLAY_*.json), distills
+each into a small
 set of named metrics, appends one {"commit", "metrics"} record to a
 committed JSONL history, and renders a trend table comparing the newest
 record against the best value the history has ever seen.
@@ -29,7 +30,8 @@ import glob
 import json
 import sys
 
-PATTERNS = ["CALIB_*.json", "CLUSTER_*.json", "REPLAY_*.json", "SERVER_*.json"]
+PATTERNS = ["CALIB_*.json", "CLUSTER_*.json", "OPTIMALITY_*.json",
+            "REPLAY_*.json", "SERVER_*.json"]
 
 # Metric catalogue: name -> (extractor, direction, gated).
 #   extractor  takes the parsed artifact dict, returns a number or None
@@ -66,6 +68,25 @@ def _policy_attr(doc, name, field):
     return None
 
 
+def _optimality(doc, field):
+    opt = doc.get("optimality")
+    if not isinstance(opt, dict):
+        return None
+    v = opt.get(field)
+    return v if isinstance(v, (int, float)) else None
+
+
+def _optimality_policy(doc, name, field):
+    opt = doc.get("optimality")
+    if not isinstance(opt, dict):
+        return None
+    for p in opt.get("policies") or []:
+        if isinstance(p, dict) and p.get("policy") == name:
+            v = p.get(field)
+            return v if isinstance(v, (int, float)) else None
+    return None
+
+
 METRICS = {
     # dps_cluster --smoke report (deterministic seeded workload)
     "cluster.equipartition_mean_slowdown":
@@ -99,6 +120,20 @@ METRICS = {
     # calibration search (seeded, deterministic score)
     "calibrate.best_score":
         (lambda d: _dig(d, "best", "score"), "lower", True),
+    # policy-optimality oracle (deterministic: seeded workloads + exhaustive
+    # search): how close the shipped policies get to the proven optimum.
+    # A scheduler change that walks a policy away from optimal fails here.
+    "optimality.best_policy_makespan_pct":
+        (lambda d: _optimality(d, "best_policy_makespan_pct"), "higher", True),
+    "optimality.best_policy_slowdown_pct":
+        (lambda d: _optimality(d, "best_policy_slowdown_pct"), "higher", True),
+    "optimality.fcfs_rigid_makespan_pct":
+        (lambda d: _optimality_policy(d, "fcfs-rigid", "makespan_pct_of_optimal"),
+         "higher", True),
+    "optimality.efficiency_shrink_makespan_pct":
+        (lambda d: _optimality_policy(d, "efficiency-shrink",
+                                      "makespan_pct_of_optimal"),
+         "higher", True),
 }
 
 WORSE_THAN_BEST = 0.10  # >10% worse than best-ever flags the metric

@@ -77,6 +77,30 @@ struct WaitAttribution {
 /// per single-threaded event loop — attach one per policy).
 class Recorder {
 public:
+  /// Decision-row taxonomy, public so auditors (sched::explore's invariant
+  /// verifier) can re-check every recorded decision against the rules the
+  /// loop claims to follow.
+  enum class Kind : std::uint8_t { Admit, Candidate, Cutoff, Pass, Realloc, Migration };
+
+  /// One recorded decision row — a union-ish record keyed by `kind`; the
+  /// field groups below each kind's comment are only meaningful for it.
+  struct Decision {
+    Kind kind = Kind::Admit;
+    double tSec = 0;
+    std::int32_t job = -1; // the head job for Kind::Pass
+    std::int32_t want = 0, alloc = 0, freeNodes = 0, spare = 0;
+    bool started = false;
+    WaitReason reason = WaitReason::HeadOfLine;
+    std::string rule;
+    double score = 0, threshold = 0;
+    // Kind::Pass
+    std::int32_t considered = 0, startedCount = 0;
+    double shadowSec = 0;
+    // Kind::Realloc / Kind::Migration
+    std::int32_t fromNodes = 0, toNodes = 0;
+    double bytes = 0, delaySec = 0;
+  };
+
   /// `timeseriesCadenceSec` > 0 samples the cluster gauges every that many
   /// *simulated* seconds (piecewise-constant between state changes); 0
   /// disables the timeseries.
@@ -133,27 +157,10 @@ public:
   std::size_t decisionCount() const { return decisions_.size(); }
   std::size_t sampleCount() const { return tsSec_.size(); }
   double cadenceSec() const { return cadenceSec_; }
+  /// The decision rows in the order the loop emitted them (audit access).
+  const std::vector<Decision>& decisions() const { return decisions_; }
 
 private:
-  enum class Kind : std::uint8_t { Admit, Candidate, Cutoff, Pass, Realloc, Migration };
-
-  struct Decision {
-    Kind kind = Kind::Admit;
-    double tSec = 0;
-    std::int32_t job = -1; // the head job for Kind::Pass
-    std::int32_t want = 0, alloc = 0, freeNodes = 0, spare = 0;
-    bool started = false;
-    WaitReason reason = WaitReason::HeadOfLine;
-    std::string rule;
-    double score = 0, threshold = 0;
-    // Kind::Pass
-    std::int32_t considered = 0, startedCount = 0;
-    double shadowSec = 0;
-    // Kind::Realloc / Kind::Migration
-    std::int32_t fromNodes = 0, toNodes = 0;
-    double bytes = 0, delaySec = 0;
-  };
-
   struct Interval {
     std::int32_t job = 0;
     double fromSec = 0, toSec = 0;

@@ -276,4 +276,24 @@ JobProfileTable JobProfileTable::build(
   return table;
 }
 
+JobProfileTable JobProfileTable::fromProfiles(std::vector<ClassProfile> classes) {
+  DPS_CHECK(!classes.empty(), "profile table needs at least one job class");
+  JobProfileTable table;
+  table.classes_ = std::move(classes);
+  for (ClassProfile& cp : table.classes_) {
+    DPS_CHECK(!cp.allocs.empty() && cp.allocs.size() == cp.byAlloc.size(),
+              "hand-built class profile with mismatched allocation lists: " + cp.name);
+    DPS_CHECK(std::is_sorted(cp.allocs.begin(), cp.allocs.end()),
+              "hand-built class profile allocations must ascend: " + cp.name);
+    for (PhaseProfile& p : cp.byAlloc) {
+      DPS_CHECK(p.totalSec > 0, "profile with zero makespan for " + cp.name);
+      DPS_CHECK(p.phaseSec.size() == cp.byAlloc.front().phaseSec.size(),
+                "inconsistent phase count across allocations of " + cp.name);
+      if (p.remainSec.empty()) p.finalizeRemaining();
+    }
+    table.info_.profiledAllocs += cp.allocs.size();
+  }
+  return table;
+}
+
 } // namespace dps::sched

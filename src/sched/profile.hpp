@@ -182,6 +182,13 @@ public:
       const std::function<EngineRunRecord(const EngineRunSpec&)>& runner = {},
       const ProfileBuildOptions& options = {});
 
+  /// Wraps hand-built profiles into a table without running the engine —
+  /// for tests and the explorer's hand-computable oracle workloads, where
+  /// the phase durations must be chosen, not profiled.  Every ClassProfile
+  /// must already satisfy the table invariants (ascending `allocs`, one
+  /// PhaseProfile per allocation, equal phase counts across allocations).
+  static JobProfileTable fromProfiles(std::vector<ClassProfile> classes);
+
   std::size_t classCount() const { return classes_.size(); }
   const ClassProfile& of(std::size_t klass) const { return classes_.at(klass); }
 
